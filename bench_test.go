@@ -1,0 +1,185 @@
+package vtsim
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each iteration regenerates the experiment's full data (all simulations it
+// needs). Run verbosely to see the tables:
+//
+//	go test -bench=BenchmarkFigSpeedup -benchtime=1x -v
+//
+// Set VTSIM_DILUTE=N to shrink grids N-fold for quick passes. Component
+// micro-benchmarks (SIMT stack, cache, scheduler, whole-SM) follow the
+// experiment benchmarks.
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/event"
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/simt"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	p := DefaultExperimentParams()
+	if d, err := strconv.Atoi(os.Getenv("VTSIM_DILUTE")); err == nil && d > 1 {
+		p.Dilute = d
+	}
+	var out io.Writer = io.Discard
+	if testing.Verbose() {
+		out = os.Stdout
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := RunExperiment(id, p, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Config regenerates the simulated-hardware table.
+func BenchmarkTable1Config(b *testing.B) { benchExperiment(b, "table1-config") }
+
+// BenchmarkTable2Benchmarks regenerates the benchmark-characteristics table.
+func BenchmarkTable2Benchmarks(b *testing.B) { benchExperiment(b, "table2-benchmarks") }
+
+// BenchmarkFigLimiter regenerates the stranded-TLP motivation figure.
+func BenchmarkFigLimiter(b *testing.B) { benchExperiment(b, "fig-limiter") }
+
+// BenchmarkFigTLP regenerates the active/resident-warps figure.
+func BenchmarkFigTLP(b *testing.B) { benchExperiment(b, "fig-tlp") }
+
+// BenchmarkFigSpeedup regenerates the headline per-benchmark speedup figure
+// (paper: +23.9% average).
+func BenchmarkFigSpeedup(b *testing.B) { benchExperiment(b, "fig-speedup") }
+
+// BenchmarkFigIdealGap regenerates the VT-vs-ideal comparison.
+func BenchmarkFigIdealGap(b *testing.B) { benchExperiment(b, "fig-ideal-gap") }
+
+// BenchmarkFigFullSwap regenerates the off-chip context-switch strawman
+// comparison.
+func BenchmarkFigFullSwap(b *testing.B) { benchExperiment(b, "fig-fullswap") }
+
+// BenchmarkFigSwapLatency regenerates the swap-latency sensitivity sweep.
+func BenchmarkFigSwapLatency(b *testing.B) { benchExperiment(b, "fig-swaplat") }
+
+// BenchmarkFigVirtualCap regenerates the virtual-CTA-budget sweep.
+func BenchmarkFigVirtualCap(b *testing.B) { benchExperiment(b, "fig-virtcap") }
+
+// BenchmarkFigRFSize regenerates the register-file-size sensitivity study.
+func BenchmarkFigRFSize(b *testing.B) { benchExperiment(b, "fig-rfsize") }
+
+// BenchmarkFigScheduler regenerates the GTO-vs-LRR interaction study.
+func BenchmarkFigScheduler(b *testing.B) { benchExperiment(b, "fig-sched") }
+
+// BenchmarkTableSwap regenerates the swap-behaviour statistics table.
+func BenchmarkTableSwap(b *testing.B) { benchExperiment(b, "table-swap") }
+
+// BenchmarkTableHardware regenerates the hardware-overhead estimate.
+func BenchmarkTableHardware(b *testing.B) { benchExperiment(b, "table-hw") }
+
+// --- component micro-benchmarks ---
+
+// BenchmarkSIMTStackDivergence measures divergence/reconvergence handling.
+func BenchmarkSIMTStackDivergence(b *testing.B) {
+	var s simt.Stack
+	for i := 0; i < b.N; i++ {
+		s.Reset(32)
+		s.Branch(0x0000FFFF, 10, 20)
+		for !s.Finished() {
+			pc, active, ok := s.Current()
+			if !ok {
+				break
+			}
+			if pc >= 19 {
+				s.Exit(active)
+				continue
+			}
+			s.Advance()
+		}
+	}
+}
+
+// BenchmarkCacheAccess measures tag-array probe/fill throughput.
+func BenchmarkCacheAccess(b *testing.B) {
+	ta := mem.NewTagArray(32, 4, 128)
+	for i := 0; i < b.N; i++ {
+		line := uint32(i%1024) * 128
+		if !ta.Probe(line) {
+			ta.Fill(line)
+		}
+	}
+}
+
+// BenchmarkEventQueue measures the discrete-event spine.
+func BenchmarkEventQueue(b *testing.B) {
+	q := event.NewQueue()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		q.At(int64(i+10), func() { n++ })
+		if i%16 == 15 {
+			q.AdvanceTo(int64(i))
+		}
+	}
+	q.AdvanceTo(int64(b.N + 10))
+	if n != b.N {
+		b.Fatalf("ran %d of %d events", n, b.N)
+	}
+}
+
+// BenchmarkSimulationCyclesPerSecond measures end-to-end simulator speed on
+// one representative workload; the metric is simulated cycles per wall
+// second.
+func BenchmarkSimulationCyclesPerSecond(b *testing.B) {
+	cfg := config.GTX480()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		w, err := kernels.Build("pathfinder", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := gpu.Run(w.Launch, cfg, gpu.Options{InitMemory: w.Init})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkSimulationVT measures end-to-end speed with the VT controller
+// active (swap machinery on the hot path).
+func BenchmarkSimulationVT(b *testing.B) {
+	cfg := config.GTX480().WithPolicy(config.PolicyVT)
+	for i := 0; i < b.N; i++ {
+		w, err := kernels.Build("pathfinder", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gpu.Run(w.Launch, cfg, gpu.Options{InitMemory: w.Init}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationVT regenerates the VT design-space ablation.
+func BenchmarkAblationVT(b *testing.B) { benchExperiment(b, "ablation-vt") }
+
+// BenchmarkAblationModel regenerates the simulator-model robustness check.
+func BenchmarkAblationModel(b *testing.B) { benchExperiment(b, "ablation-model") }
+
+// BenchmarkFigExtras regenerates the extension-workload evaluation.
+func BenchmarkFigExtras(b *testing.B) { benchExperiment(b, "fig-extras") }
+
+// BenchmarkTableEnergy regenerates the first-order energy estimate.
+func BenchmarkTableEnergy(b *testing.B) { benchExperiment(b, "table-energy") }
+
+// BenchmarkFigKepler regenerates the Kepler-generation sensitivity study.
+func BenchmarkFigKepler(b *testing.B) { benchExperiment(b, "fig-kepler") }
+
+// BenchmarkFigMultiKernel regenerates the concurrent-kernel-mix study.
+func BenchmarkFigMultiKernel(b *testing.B) { benchExperiment(b, "fig-multikernel") }

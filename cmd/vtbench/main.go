@@ -1,0 +1,81 @@
+// Command vtbench regenerates the paper's evaluation: every table and
+// figure has a named experiment that runs the required simulations and
+// prints the corresponding rows/series.
+//
+// Usage:
+//
+//	vtbench                    # run everything (takes minutes)
+//	vtbench -run fig-speedup   # one experiment
+//	vtbench -list              # list experiments
+//	vtbench -dilute 10         # shrink grids 10x for a quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	vtsim "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment ID or \"all\"")
+		scale   = flag.Int("scale", 1, "grid size multiplier")
+		dilute  = flag.Int("dilute", 1, "divide grid sizes by this factor (quick passes)")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		out     = flag.String("out", "", "write output to file instead of stdout")
+		csvDir  = flag.String("csv", "", "also write every table as CSV into this directory")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range vtsim.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		stats.SetCSVDir(*csvDir)
+	}
+
+	p := vtsim.DefaultExperimentParams()
+	p.Scale = *scale
+	p.Dilute = *dilute
+	p.Workers = *workers
+
+	start := time.Now()
+	var err error
+	if *run == "all" {
+		err = vtsim.RunAllExperiments(p, w)
+	} else {
+		err = vtsim.RunExperiment(*run, p, w)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vtbench: "+format+"\n", args...)
+	os.Exit(1)
+}

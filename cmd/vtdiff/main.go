@@ -1,0 +1,75 @@
+// Command vtdiff compares two simulation results saved as JSON by
+// `vtsim -json`, printing the relative change of every headline metric —
+// the quick way to quantify a configuration or policy change.
+//
+// Usage:
+//
+//	vtsim -workload nw -json > base.json
+//	vtsim -workload nw -policy vt -json > vt.json
+//	vtdiff base.json vt.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gpu"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fatalf("usage: vtdiff a.json b.json")
+	}
+	a, err := load(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	b, err := load(flag.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if a.Kernel != b.Kernel {
+		fmt.Printf("warning: comparing different kernels (%s vs %s)\n\n", a.Kernel, b.Kernel)
+	}
+
+	fmt.Printf("%-24s %14s %14s %10s\n", "metric", a.Policy.String(), b.Policy.String(), "change")
+	row := func(name string, va, vb float64) {
+		change := "-"
+		if va != 0 {
+			change = fmt.Sprintf("%+.1f%%", (vb/va-1)*100)
+		}
+		fmt.Printf("%-24s %14.3f %14.3f %10s\n", name, va, vb, change)
+	}
+	row("cycles", float64(a.Cycles), float64(b.Cycles))
+	row("IPC", a.IPC(), b.IPC())
+	row("active warps/SM", a.AvgActiveWarpsPerSM(), b.AvgActiveWarpsPerSM())
+	row("resident warps/SM", a.AvgResidentWarpsPerSM(), b.AvgResidentWarpsPerSM())
+	row("SIMD efficiency", a.SIMDEfficiency(), b.SIMDEfficiency())
+	row("L1 hit rate", a.Mem.L1HitRate(), b.Mem.L1HitRate())
+	row("L2 hit rate", a.Mem.L2HitRate(), b.Mem.L2HitRate())
+	row("DRAM reads", float64(a.Mem.DRAMReads), float64(b.Mem.DRAMReads))
+	row("swaps out", float64(a.VT.SwapsOut), float64(b.VT.SwapsOut))
+	if a.Cycles > 0 && b.Cycles > 0 {
+		fmt.Printf("\nspeedup (a/b cycles): %.3fx\n", float64(a.Cycles)/float64(b.Cycles))
+	}
+}
+
+func load(path string) (*gpu.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r gpu.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vtdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command vtreport prints the static occupancy analysis for the workload
+// suite (or one workload): how many CTAs fit under each hardware
+// constraint, which limit binds, and how much thread-level parallelism the
+// scheduling limit strands — the paper's motivating analysis.
+//
+// Usage:
+//
+//	vtreport               # whole suite
+//	vtreport -workload nw  # one workload, with the per-constraint breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	vtsim "repro"
+	"repro/internal/cta"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "analyze one workload in detail")
+		scale    = flag.Int("scale", 1, "grid size multiplier")
+	)
+	flag.Parse()
+
+	cfg := vtsim.GTX480()
+
+	if *workload != "" {
+		w, err := kernels.Build(*workload, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vtreport: %v\n", err)
+			os.Exit(1)
+		}
+		o := cta.ComputeOccupancy(w.Launch, &cfg)
+		fp := o.Footprint
+		t := stats.NewTable(fmt.Sprintf("%s occupancy on %s", w.Name, cfg.Name),
+			"constraint", "per-CTA demand", "hardware", "max CTAs")
+		t.Rowf("CTA slots", 1, cfg.MaxCTAsPerSM, o.ByCTASlots)
+		t.Rowf("warp slots", fp.Warps, cfg.MaxWarpsPerSM, o.ByWarps)
+		t.Rowf("thread slots", fp.Threads, cfg.MaxThreadsPerSM, o.ByThreads)
+		t.Rowf("registers", fp.Regs, cfg.RegFileSize, o.ByRegs)
+		t.Rowf("shared memory", fp.SMem, cfg.SharedMemPerSM, o.BySMem)
+		t.Note("binding limiter: %s -> %d CTAs/SM; capacity alone allows %d",
+			o.Limiter, o.CTAs, o.CapacityCTAs)
+		if o.SchedulingLimited() {
+			t.Note("scheduling-limited: Virtual Thread can keep %dx more CTAs resident",
+				o.CapacityCTAs/max(o.CTAs, 1))
+		} else {
+			t.Note("capacity-limited: Virtual Thread has no residency headroom here")
+		}
+		t.Fprint(os.Stdout)
+		return
+	}
+
+	t := stats.NewTable("suite occupancy on "+cfg.Name,
+		"workload", "limiter", "CTAs/SM", "capacity-CTAs", "sched-limited")
+	for _, w := range kernels.Suite(*scale) {
+		o := cta.ComputeOccupancy(w.Launch, &cfg)
+		t.Rowf(w.Name, o.Limiter.String(), o.CTAs, o.CapacityCTAs,
+			fmt.Sprintf("%v", o.SchedulingLimited()))
+	}
+	t.Fprint(os.Stdout)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

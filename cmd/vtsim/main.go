@@ -1,0 +1,169 @@
+// Command vtsim runs one workload from the synthetic suite on the
+// simulated GPU under a chosen CTA scheduling policy and prints the
+// simulation statistics.
+//
+// Usage:
+//
+//	vtsim -workload bfs -policy vt
+//	vtsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	vtsim "repro"
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "vecadd", "workload name (see -list)")
+		policy   = flag.String("policy", "baseline", "baseline | vt | ideal | fullswap")
+		sched    = flag.String("sched", "gto", "warp scheduler: gto | lrr")
+		scale    = flag.Int("scale", 1, "grid size multiplier")
+		sms      = flag.Int("sms", 0, "override SM count (0 = config default)")
+		timeline = flag.Int64("timeline", 0, "sample occupancy every N cycles and print the series")
+		asJSON   = flag.Bool("json", false, "emit the full result as JSON")
+		traceOut = flag.String("trace", "", "write a JSONL event trace (CTA transitions + samples) to this file")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range vtsim.WorkloadNames() {
+			w, _ := vtsim.BuildWorkload(n, 1)
+			fmt.Printf("%-12s %s\n", n, w.Description)
+		}
+		return
+	}
+
+	cfg := vtsim.GTX480()
+	switch *policy {
+	case "baseline":
+		cfg.Policy = vtsim.PolicyBaseline
+	case "vt":
+		cfg.Policy = vtsim.PolicyVT
+	case "ideal":
+		cfg.Policy = vtsim.PolicyIdeal
+	case "fullswap":
+		cfg.Policy = vtsim.PolicyFullSwap
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+	switch *sched {
+	case "gto":
+		cfg.Scheduler = config.SchedGTO
+	case "lrr":
+		cfg.Scheduler = config.SchedLRR
+	default:
+		fatalf("unknown scheduler %q", *sched)
+	}
+	if *sms > 0 {
+		cfg.NumSMs = *sms
+	}
+
+	w, err := vtsim.BuildWorkload(*workload, *scale)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var res *vtsim.Result
+	var err2 error
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fatalf("%v", ferr)
+		}
+		tw := trace.NewWriter(f)
+		tw.Emit(trace.Event{Kind: trace.KindRun, Marker: "start",
+			Kernel: w.Name, Policy: cfg.Policy.String()})
+		res, err2 = vtsim.RunTracedSampled(w, cfg, *timeline, func(e vtsim.TraceEvent) {
+			tw.Emit(trace.Event{Cycle: e.Cycle, Kind: trace.KindCTA, SM: e.SM,
+				CTA: e.CTA, From: e.From.String(), To: e.To.String()})
+		})
+		if err2 == nil {
+			for _, sp := range res.Timeline {
+				tw.Emit(trace.Event{Cycle: sp.Cycle, Kind: trace.KindSample,
+					ActiveWarps: sp.ActiveWarps, ResidentWarps: sp.ResidentWarps, IPC: sp.IPC})
+			}
+			tw.Emit(trace.Event{Cycle: res.Cycles, Kind: trace.KindRun, Marker: "end"})
+		}
+		if err := tw.Flush(); err != nil {
+			fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", tw.Count(), *traceOut)
+	} else {
+		res, err2 = vtsim.RunSampled(w, cfg, *timeline)
+	}
+	if err2 != nil {
+		fatalf("%v", err2)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	fmt.Printf("workload:            %s (%s)\n", w.Name, w.Description)
+	fmt.Printf("policy:              %s, scheduler %s, %d SMs\n", res.Policy, cfg.Scheduler, cfg.NumSMs)
+	fmt.Printf("grid:                %d CTAs x %d threads\n", w.Launch.GridDim.Size(), w.Launch.BlockDim.Size())
+	fmt.Printf("cycles:              %d\n", res.Cycles)
+	fmt.Printf("warp instructions:   %d  (IPC %.3f)\n", res.SM.Issued, res.IPC())
+	fmt.Printf("thread instructions: %d\n", res.SM.ThreadInstrs)
+	fmt.Printf("active warps/SM:     %.1f  (resident %.1f)\n",
+		res.AvgActiveWarpsPerSM(), res.AvgResidentWarpsPerSM())
+	fmt.Printf("active CTAs/SM:      %.1f  (resident %.1f)\n",
+		res.AvgActiveCTAsPerSM(), res.AvgResidentCTAsPerSM())
+	fmt.Printf("occupancy limiter:   %s (%d CTAs; capacity %d)\n",
+		res.Occupancy.Limiter, res.Occupancy.CTAs, res.Occupancy.CapacityCTAs)
+	fmt.Printf("L1 hit rate:         %.3f   L2 hit rate: %.3f\n",
+		res.Mem.L1HitRate(), res.Mem.L2HitRate())
+	fmt.Printf("DRAM busy:           %.1f%%\n",
+		100*float64(res.Mem.DRAMBusy)/float64(res.Cycles*int64(cfg.NumMemPartitions)))
+	total := float64(res.SM.SlotIssued + res.SM.SlotStallMem + res.SM.SlotStallALU +
+		res.SM.SlotStallBar + res.SM.SlotStallStr + res.SM.SlotIdle)
+	fmt.Printf("issue slots:         issued %.1f%%, mem-stall %.1f%%, alu-stall %.1f%%, barrier %.1f%%, structural %.1f%%, idle %.1f%%\n",
+		100*float64(res.SM.SlotIssued)/total, 100*float64(res.SM.SlotStallMem)/total,
+		100*float64(res.SM.SlotStallALU)/total, 100*float64(res.SM.SlotStallBar)/total,
+		100*float64(res.SM.SlotStallStr)/total, 100*float64(res.SM.SlotIdle)/total)
+	if res.Policy == vtsim.PolicyVT || res.Policy == vtsim.PolicyFullSwap {
+		fmt.Printf("VT swaps:            %d out / %d in (%d fresh activations)\n",
+			res.VT.SwapsOut, res.VT.SwapsIn, res.VT.FreshActivates)
+		fmt.Printf("VT context peak:     %d bytes; max resident %d CTAs/SM\n",
+			res.VT.ContextPeak, res.VT.MaxResident)
+	}
+	if len(res.Timeline) > 0 {
+		fmt.Printf("\ntimeline (active warps/SM, resident warps/SM, interval IPC):\n")
+		maxW := 0.0
+		for _, sp := range res.Timeline {
+			if sp.ResidentWarps > maxW {
+				maxW = sp.ResidentWarps
+			}
+		}
+		for _, sp := range res.Timeline {
+			bar := ""
+			if maxW > 0 {
+				bar = strings.Repeat("#", int(sp.ActiveWarps/maxW*40+0.5)) +
+					strings.Repeat("-", int((sp.ResidentWarps-sp.ActiveWarps)/maxW*40+0.5))
+			}
+			fmt.Printf("  %8d  act %5.1f  res %5.1f  ipc %6.2f  %s\n",
+				sp.Cycle, sp.ActiveWarps, sp.ResidentWarps, sp.IPC, bar)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vtsim: "+format+"\n", args...)
+	os.Exit(1)
+}

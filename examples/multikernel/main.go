@@ -1,0 +1,42 @@
+// Multikernel: concurrent kernel execution under Virtual Thread. A
+// latency-bound wavefront kernel (nw) is co-scheduled with a compute-bound
+// one (montecarlo); each gets a disjoint memory arena. VT rotates the
+// stalled wavefront CTAs while the compute CTAs keep the pipelines fed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vtsim "repro"
+)
+
+func main() {
+	names := []string{"nw", "montecarlo"}
+
+	base, err := vtsim.RunConcurrentNames(names, 1, vtsim.GTX480())
+	if err != nil {
+		log.Fatal(err)
+	}
+	vt, err := vtsim.RunConcurrentNames(names, 1, vtsim.GTX480().WithPolicy(vtsim.PolicyVT))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("co-scheduled mix: %s\n\n", base.Kernel)
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "virtual-thread")
+	fmt.Printf("%-22s %12d %12d\n", "cycles", base.Cycles, vt.Cycles)
+	fmt.Printf("%-22s %12.2f %12.2f\n", "IPC", base.IPC(), vt.IPC())
+	fmt.Printf("%-22s %12.1f %12.1f\n", "resident warps/SM",
+		base.AvgResidentWarpsPerSM(), vt.AvgResidentWarpsPerSM())
+	fmt.Printf("%-22s %12s %12d\n", "CTA swaps", "-", vt.VT.SwapsOut)
+	fmt.Println()
+	for i := range base.PerKernel {
+		fmt.Printf("  %-12s issued %9d (baseline) vs %9d (vt) warp instructions\n",
+			base.PerKernel[i].Name, base.PerKernel[i].Issued, vt.PerKernel[i].Issued)
+	}
+	fmt.Printf("\nmix speedup: %.2fx — CTA virtualization applies unchanged when\n",
+		float64(base.Cycles)/float64(vt.Cycles))
+	fmt.Println("kernels share the SMs: inactive CTAs of either kernel park in the")
+	fmt.Println("context buffer while any ready CTA (from either grid) takes the slots.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: simulate one workload under the baseline and Virtual Thread
+// policies and compare. This is the 30-second tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vtsim "repro"
+)
+
+func main() {
+	// The paper's hardware: a Fermi-class GPU whose per-SM scheduling
+	// structures allow 8 CTAs / 48 warps while the register file and
+	// shared memory could often hold far more.
+	cfg := vtsim.GTX480()
+
+	// A scheduling-limited workload: 32-thread CTAs mean the 8-CTA slot
+	// limit strands two thirds of the SM's capacity.
+	w, err := vtsim.BuildWorkload("nw", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := vtsim.Run(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w2, _ := vtsim.BuildWorkload("nw", 1)
+	vt, err := vtsim.Run(w2, cfg.WithPolicy(vtsim.PolicyVT))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s — %s\n\n", w.Name, w.Description)
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "virtual-thread")
+	fmt.Printf("%-22s %12d %12d\n", "cycles", base.Cycles, vt.Cycles)
+	fmt.Printf("%-22s %12.2f %12.2f\n", "IPC", base.IPC(), vt.IPC())
+	fmt.Printf("%-22s %12.1f %12.1f\n", "active warps/SM", base.AvgActiveWarpsPerSM(), vt.AvgActiveWarpsPerSM())
+	fmt.Printf("%-22s %12.1f %12.1f\n", "resident warps/SM", base.AvgResidentWarpsPerSM(), vt.AvgResidentWarpsPerSM())
+	fmt.Printf("%-22s %12s %12d\n", "CTA swaps", "-", vt.VT.SwapsOut)
+	fmt.Printf("\nspeedup: %.2fx (VT keeps %d CTAs resident per SM against a scheduling limit of %d)\n",
+		float64(base.Cycles)/float64(vt.Cycles), vt.VT.MaxResident, cfg.MaxCTAsPerSM)
+}

@@ -1,0 +1,64 @@
+// Swaptrace: watch the Virtual Thread controller work. Runs a
+// scheduling-limited workload on a single SM and prints the CTA state
+// transitions (activation, swap-out on memory stall, reactivation) plus a
+// per-CTA lifecycle summary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vtsim "repro"
+)
+
+func main() {
+	cfg := vtsim.GTX480().WithPolicy(vtsim.PolicyVT)
+	cfg.NumSMs = 1 // one SM keeps the timeline readable
+
+	w, err := vtsim.BuildWorkload("bfs", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A handful of CTAs is enough to see the rotation.
+	w.Launch.GridDim.X = 24
+
+	type life struct{ activations, swaps int }
+	lives := map[int]*life{}
+	var events []vtsim.TraceEvent
+
+	res, err := vtsim.RunTraced(w, cfg, func(e vtsim.TraceEvent) {
+		events = append(events, e)
+		l := lives[e.CTA]
+		if l == nil {
+			l = &life{}
+			lives[e.CTA] = l
+		}
+		switch e.To.String() {
+		case "active", "restoring":
+			l.activations++
+		case "inactive-waiting", "inactive-ready":
+			l.swaps++
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("timeline (first 40 of %d transitions):\n", len(events))
+	for i, e := range events {
+		if i == 40 {
+			break
+		}
+		fmt.Printf("  cycle %6d  CTA %2d  %-16s -> %s\n", e.Cycle, e.CTA, e.From, e.To)
+	}
+
+	fmt.Printf("\nper-CTA lifecycle:\n")
+	for id := 0; id < w.Launch.GridDim.X; id++ {
+		if l := lives[id]; l != nil {
+			fmt.Printf("  CTA %2d: %d activations, %d swap-outs\n", id, l.activations, l.swaps)
+		}
+	}
+	fmt.Printf("\ntotals: %d swap-outs, %d swap-ins over %d cycles (active %.1f / resident %.1f warps)\n",
+		res.VT.SwapsOut, res.VT.SwapsIn, res.Cycles,
+		res.AvgActiveWarpsPerSM(), res.AvgResidentWarpsPerSM())
+}

@@ -1,0 +1,493 @@
+// Package asm provides a textual assembly front end for the simulator ISA,
+// so kernels can be written as .vta files instead of Go builder calls, and
+// a disassembler that renders compiled kernels back to parseable text.
+//
+// Syntax (one instruction per line, ';' starts a comment):
+//
+//	.kernel vecadd          ; kernel name
+//	.smem 1024              ; static shared memory bytes (optional)
+//	.regs 16                ; reserve registers (optional)
+//
+//	start:
+//	  s2r       r0, %tid.x
+//	  ldparam   r1, p0
+//	  mov       r2, #8
+//	  iadd      r3, r0, r2
+//	  ld.global r4, [r3+16]
+//	  setp.lt   r5, r0, #32
+//	  bra       r5, start, done
+//	done:
+//	  bar
+//	  st.shared [r1], r4
+//	  exit
+//
+// Immediates are decimal, 0x-hex, or single-precision floats written with
+// a trailing 'f' (#1.5f stores the IEEE-754 bits).
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble parses the source and returns the built kernel.
+func Assemble(src string) (*isa.Kernel, error) {
+	a := &assembler{}
+	for i, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", i+1, err)
+		}
+	}
+	if a.b == nil {
+		return nil, fmt.Errorf("asm: missing .kernel directive")
+	}
+	k, err := a.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return k, nil
+}
+
+type assembler struct {
+	b *isa.Builder
+}
+
+func (a *assembler) line(raw string) error {
+	if i := strings.IndexByte(raw, ';'); i >= 0 {
+		raw = raw[:i]
+	}
+	line := strings.TrimSpace(raw)
+	if line == "" {
+		return nil
+	}
+
+	if strings.HasPrefix(line, ".") {
+		return a.directive(line)
+	}
+	if a.b == nil {
+		return fmt.Errorf("instruction before .kernel directive")
+	}
+	if strings.HasSuffix(line, ":") {
+		name := strings.TrimSuffix(line, ":")
+		if name == "" || strings.ContainsAny(name, " \t") {
+			return fmt.Errorf("bad label %q", line)
+		}
+		a.b.Label(name)
+		return nil
+	}
+	return a.instruction(line)
+}
+
+func (a *assembler) directive(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".kernel":
+		if len(fields) != 2 {
+			return fmt.Errorf(".kernel needs a name")
+		}
+		if a.b != nil {
+			return fmt.Errorf("duplicate .kernel directive")
+		}
+		a.b = isa.NewBuilder(fields[1])
+		return nil
+	case ".smem":
+		if a.b == nil {
+			return fmt.Errorf(".smem before .kernel")
+		}
+		n, err := strconv.Atoi(fieldArg(fields))
+		if err != nil || n < 0 {
+			return fmt.Errorf(".smem needs a non-negative integer")
+		}
+		a.b.SharedMem(n)
+		return nil
+	case ".regs":
+		if a.b == nil {
+			return fmt.Errorf(".regs before .kernel")
+		}
+		n, err := strconv.Atoi(fieldArg(fields))
+		if err != nil || n <= 0 {
+			return fmt.Errorf(".regs needs a positive integer")
+		}
+		a.b.ReserveRegs(n)
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+func fieldArg(fields []string) string {
+	if len(fields) < 2 {
+		return ""
+	}
+	return fields[1]
+}
+
+// operand splitting: "iadd r1, r2, #4" -> op "iadd", args [r1 r2 #4].
+func splitOperands(line string) (string, []string) {
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return line, nil
+	}
+	op := line[:sp]
+	rest := strings.TrimSpace(line[sp:])
+	if rest == "" {
+		return op, nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return op, parts
+}
+
+var specials = map[string]isa.Special{
+	"%tid.x": isa.SrTidX, "%tid.y": isa.SrTidY, "%tid.z": isa.SrTidZ,
+	"%ctaid.x": isa.SrCTAIdX, "%ctaid.y": isa.SrCTAIdY, "%ctaid.z": isa.SrCTAIdZ,
+	"%ntid.x": isa.SrNTidX, "%ntid.y": isa.SrNTidY, "%ntid.z": isa.SrNTidZ,
+	"%nctaid.x": isa.SrNCTAIdX, "%nctaid.y": isa.SrNCTAIdY, "%nctaid.z": isa.SrNCTAIdZ,
+	"%laneid": isa.SrLaneID, "%warpid": isa.SrWarpID,
+}
+
+// specialName is the inverse of specials, for the disassembler.
+func specialName(sr isa.Special) string {
+	for n, v := range specials {
+		if v == sr {
+			return n
+		}
+	}
+	return fmt.Sprintf("%%sr%d", uint32(sr))
+}
+
+var cmpKinds = map[string]isa.CmpKind{
+	"lt": isa.CmpILT, "le": isa.CmpILE, "eq": isa.CmpIEQ, "ne": isa.CmpINE,
+	"ge": isa.CmpIGE, "gt": isa.CmpIGT, "flt": isa.CmpFLT, "fgt": isa.CmpFGT,
+}
+
+// cmpName is the inverse of cmpKinds, for the disassembler.
+func cmpName(k isa.CmpKind) string {
+	for n, v := range cmpKinds {
+		if v == k {
+			return n
+		}
+	}
+	return fmt.Sprintf("cmp%d", uint32(k))
+}
+
+var twoSrcOps = map[string]isa.Opcode{
+	"iadd": isa.OpIAdd, "isub": isa.OpISub, "imul": isa.OpIMul,
+	"imin": isa.OpIMin, "imax": isa.OpIMax,
+	"and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor,
+	"shl": isa.OpShl, "shr": isa.OpShr,
+	"fadd": isa.OpFAdd, "fmul": isa.OpFMul,
+}
+
+var oneSrcOps = map[string]isa.Opcode{
+	"frcp": isa.OpFRcp, "fsqrt": isa.OpFSqrt, "fsin": isa.OpFSin, "fexp": isa.OpFExp,
+}
+
+var threeSrcOps = map[string]isa.Opcode{
+	"imad": isa.OpIMad, "ffma": isa.OpFFma,
+}
+
+func (a *assembler) instruction(line string) error {
+	op, args := splitOperands(line)
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	switch {
+	case op == "nop":
+		a.b.Nop()
+		return nil
+	case op == "bar":
+		a.b.Bar()
+		return nil
+	case op == "exit":
+		a.b.Exit()
+		return nil
+	case op == "jmp":
+		if err := need(1); err != nil {
+			return err
+		}
+		a.b.Jmp(args[0])
+		return nil
+	case op == "bra":
+		if err := need(3); err != nil {
+			return err
+		}
+		pred, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		a.b.Bra(pred, args[1], args[2])
+		return nil
+	case op == "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		if imm, ok, err := parseImm(args[1]); err != nil {
+			return err
+		} else if ok {
+			a.b.MovImm(d, imm)
+		} else {
+			s, err := parseReg(args[1])
+			if err != nil {
+				return err
+			}
+			a.b.Mov(d, s)
+		}
+		return nil
+	case op == "s2r":
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		sr, ok := specials[args[1]]
+		if !ok {
+			return fmt.Errorf("unknown special register %q", args[1])
+		}
+		a.b.S2R(d, sr)
+		return nil
+	case op == "ldparam":
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(args[1], "p") {
+			return fmt.Errorf("ldparam needs a pN operand, got %q", args[1])
+		}
+		idx, err := strconv.Atoi(args[1][1:])
+		if err != nil || idx < 0 {
+			return fmt.Errorf("bad parameter index %q", args[1])
+		}
+		a.b.LdParam(d, idx)
+		return nil
+	case op == "selp":
+		if err := need(4); err != nil {
+			return err
+		}
+		regs, err := parseRegs(args)
+		if err != nil {
+			return err
+		}
+		a.b.Selp(regs[0], regs[1], regs[2], regs[3])
+		return nil
+	case strings.HasPrefix(op, "setp."):
+		if err := need(3); err != nil {
+			return err
+		}
+		kind, ok := cmpKinds[strings.TrimPrefix(op, "setp.")]
+		if !ok {
+			return fmt.Errorf("unknown comparison %q", op)
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		s, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if imm, ok2, err := parseImm(args[2]); err != nil {
+			return err
+		} else if ok2 {
+			a.b.SetpImm(d, kind, s, int32(imm))
+		} else {
+			s2, err := parseReg(args[2])
+			if err != nil {
+				return err
+			}
+			a.b.Setp(d, kind, s, s2)
+		}
+		return nil
+	case op == "ld.global" || op == "ld.shared":
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		addr, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		if op == "ld.global" {
+			a.b.LdG(d, addr, off)
+		} else {
+			a.b.LdS(d, addr, off)
+		}
+		return nil
+	case op == "atom.add":
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		addr, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		a.b.AtomAdd(d, addr, off, v)
+		return nil
+	case op == "st.global" || op == "st.shared":
+		if err := need(2); err != nil {
+			return err
+		}
+		addr, off, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if op == "st.global" {
+			a.b.StG(addr, off, v)
+		} else {
+			a.b.StS(addr, off, v)
+		}
+		return nil
+	}
+
+	if code, ok := oneSrcOps[op]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		regs, err := parseRegs(args)
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Instr{Op: code, Dst: regs[0], SrcA: regs[1]})
+		return nil
+	}
+	if code, ok := twoSrcOps[op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		s, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if imm, ok2, err := parseImm(args[2]); err != nil {
+			return err
+		} else if ok2 {
+			a.b.Emit(isa.Instr{Op: code, Dst: d, SrcA: s, Imm: imm, UseImm: true})
+		} else {
+			s2, err := parseReg(args[2])
+			if err != nil {
+				return err
+			}
+			a.b.Emit(isa.Instr{Op: code, Dst: d, SrcA: s, SrcB: s2})
+		}
+		return nil
+	}
+	if code, ok := threeSrcOps[op]; ok {
+		if err := need(4); err != nil {
+			return err
+		}
+		regs, err := parseRegs(args)
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Instr{Op: code, Dst: regs[0], SrcA: regs[1], SrcB: regs[2], SrcC: regs[3]})
+		return nil
+	}
+	return fmt.Errorf("unknown instruction %q", op)
+}
+
+func parseRegs(args []string) ([]isa.Reg, error) {
+	out := make([]isa.Reg, len(args))
+	for i, a := range args {
+		r, err := parseReg(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	low := strings.ToLower(s)
+	if low == "rz" {
+		return isa.RZ, nil
+	}
+	if !strings.HasPrefix(low, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(low[1:])
+	if err != nil || n < 0 || n >= isa.MaxRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// parseImm parses "#value"; ok=false when s is not an immediate.
+func parseImm(s string) (imm uint32, ok bool, err error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, false, nil
+	}
+	body := s[1:]
+	if strings.HasSuffix(body, "f") {
+		f, ferr := strconv.ParseFloat(strings.TrimSuffix(body, "f"), 32)
+		if ferr != nil {
+			return 0, false, fmt.Errorf("bad float immediate %q", s)
+		}
+		return math.Float32bits(float32(f)), true, nil
+	}
+	v, verr := strconv.ParseInt(body, 0, 64)
+	if verr != nil || v > math.MaxUint32 || v < math.MinInt32 {
+		return 0, false, fmt.Errorf("bad immediate %q", s)
+	}
+	return uint32(v), true, nil
+}
+
+// parseMem parses "[rN]", "[rN+off]" or "[rN-off]".
+func parseMem(s string) (isa.Reg, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("expected [reg+offset], got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	sep := strings.IndexAny(body, "+-")
+	if sep < 0 {
+		r, err := parseReg(strings.TrimSpace(body))
+		return r, 0, err
+	}
+	r, err := parseReg(strings.TrimSpace(body[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	off, oerr := strconv.ParseInt(strings.TrimSpace(body[sep:]), 0, 32)
+	if oerr != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, int32(off), nil
+}

@@ -1,0 +1,355 @@
+// Package core implements the paper's contribution: the Virtual Thread
+// (VT) architecture. VT assigns CTAs to an SM up to the capacity limit
+// (register file + shared memory) while only a scheduling-limit-sized
+// subset is active. When every warp of an active CTA is blocked on a
+// long-latency global-memory dependence, the CTA's tiny scheduling context
+// (PC, SIMT stack, scoreboard) is saved to an on-chip context buffer and a
+// ready inactive CTA takes its warp slots. Registers and shared memory of
+// inactive CTAs never move, so swaps cost tens of cycles and outstanding
+// loads of a swapped-out CTA drain directly into its resident registers.
+//
+// The package also provides the FullSwap strawman (contexts spilled
+// off-chip, paying a footprint-proportional latency) and, together with
+// config.PolicyIdeal, the upper bound with unbounded scheduling structures.
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/cta"
+	"repro/internal/isa"
+	"repro/internal/sm"
+	"repro/internal/warp"
+)
+
+// Stats collects Virtual Thread controller counters.
+type Stats struct {
+	SwapsOut        int64 // CTA deactivations due to stall
+	SwapsIn         int64 // CTA activations of previously-run CTAs
+	FreshActivates  int64 // activations of never-run (pending) CTAs
+	SwapStallCycles int64 // cycles warp slots sat idle paying swap latency
+	DeniedByBuffer  int64 // virtual-CTA admissions denied by the context buffer
+	DeniedByCap     int64 // admissions denied by the virtual-CTA cap
+	MaxResident     int   // peak resident CTAs on any SM
+	MaxInactive     int   // peak inactive CTAs on any SM
+	ContextPeak     int   // peak context-buffer bytes in use on any SM
+}
+
+// TraceEvent records one CTA state transition for the swap-trace example.
+type TraceEvent struct {
+	Cycle int64
+	SM    int
+	CTA   int // flat CTA id
+	From  warp.CTAState
+	To    warp.CTAState
+}
+
+// Controller is the per-GPU Virtual Thread controller; it manages every
+// SM's virtual CTA table. Swap operations per SM are limited by the
+// configured context-buffer port count (one by default).
+type Controller struct {
+	grid     cta.Source
+	fullSwap bool // FullSwap strawman: pay the full-context latency
+
+	perSM []smState
+
+	// Stats accumulates controller counters across all SMs.
+	Stats Stats
+
+	// Trace, when non-nil, receives CTA state transitions.
+	Trace func(TraceEvent)
+}
+
+type smState struct {
+	ports        []int64 // context-buffer ports: next free cycle each
+	ctxBytesUsed int     // context buffer bytes held by inactive CTAs
+	wakeAt       int64
+}
+
+// freePort returns the index of a context-buffer port free at now, or -1.
+func (st *smState) freePort(now int64) int {
+	for i, t := range st.ports {
+		if t <= now {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewController builds the VT controller over a shared CTA source.
+// fullSwap selects the off-chip context-switching strawman.
+func NewController(g cta.Source, numSMs int, fullSwap bool) *Controller {
+	return &Controller{grid: g, fullSwap: fullSwap, perSM: make([]smState, numSMs)}
+}
+
+var _ sm.Controller = (*Controller)(nil)
+
+func (v *Controller) trace(s *sm.SM, c *warp.CTA, from, to warp.CTAState) {
+	if v.Trace != nil {
+		v.Trace(TraceEvent{Cycle: s.Ev.Now(), SM: s.ID, CTA: c.FlatID, From: from, To: to})
+	}
+}
+
+// ctxBytesPerCTA returns the context-buffer footprint of one inactive CTA
+// under the plain VT policy: per-warp PC + SIMT stack + scoreboard.
+func ctxBytesPerCTA(c *warp.CTA) int {
+	n := 0
+	for _, w := range c.Warps {
+		n += w.ContextFootprintBytes()
+	}
+	return n
+}
+
+// swapLatency returns the one-way swap latency for the CTA under the
+// configured mechanism.
+func (v *Controller) swapLatency(s *sm.SM, c *warp.CTA, out bool) int64 {
+	if !v.fullSwap {
+		if out {
+			return int64(s.Cfg.VT.SwapOutLatency)
+		}
+		return int64(s.Cfg.VT.SwapInLatency)
+	}
+	// FullSwap: move registers + shared memory through a 32 B/cycle port.
+	bytes := c.RegsAlloc*4 + c.SMemAlloc
+	return int64(bytes / 32)
+}
+
+// Cycle runs the VT policy for one SM cycle: admit new virtual CTAs up to
+// the capacity limit, activate ready CTAs into free scheduling slots, and
+// swap out active CTAs whose warps are all memory-blocked.
+func (v *Controller) Cycle(s *sm.SM) {
+	v.admit(s)
+	v.activate(s)
+	v.swapOut(s)
+}
+
+// admit makes grid CTAs resident while registers, shared memory, the
+// virtual-CTA cap, and the context buffer allow.
+func (v *Controller) admit(s *sm.SM) {
+	st := &v.perSM[s.ID]
+	for {
+		if vcap := s.Cfg.VT.MaxVirtualCTAsPerSM; vcap > 0 && len(s.Resident) >= vcap {
+			v.Stats.DeniedByCap++
+			return
+		}
+		c := v.grid.Next(func(regs, smem, warps, threads int) bool {
+			if !s.HasCapacityFor(regs, smem) {
+				return false
+			}
+			// A resident-but-inactive CTA needs context buffer space;
+			// only CTAs beyond the active set consume it. Estimate with
+			// the initial (depth-1 stack) footprint.
+			if len(s.Resident) >= s.MaxCTAs &&
+				st.ctxBytesUsed+estCtxBytes(warps) > s.Cfg.VT.ContextBufferBytes {
+				v.Stats.DeniedByBuffer++
+				return false
+			}
+			return true
+		})
+		if c == nil {
+			return
+		}
+		s.AddResident(c)
+		if len(s.Resident) > v.Stats.MaxResident {
+			v.Stats.MaxResident = len(s.Resident)
+		}
+	}
+}
+
+// estCtxBytes is the context footprint estimate used for admission: every
+// warp at stack depth 1.
+func estCtxBytes(warps int) int {
+	perWarp := 4 + (12 + 8) + 64 + 4
+	return warps * perWarp
+}
+
+// activate fills free scheduling slots with ready CTAs under the
+// configured activation policy. Fresh (never-run) CTAs need no context
+// restore; reactivations need a free context-buffer port.
+func (v *Controller) activate(s *sm.SM) {
+	st := &v.perSM[s.ID]
+	if st.ports == nil {
+		st.ports = make([]int64, s.Cfg.VT.EffSwapPorts())
+	}
+	now := s.Ev.Now()
+	for {
+		c := v.pickReady(s)
+		if c == nil {
+			return
+		}
+		if !s.CanActivateCTA(c) {
+			return
+		}
+		if c.State == warp.CTAInactiveReady && st.freePort(now) < 0 {
+			return // restore needs a port; try again when one frees
+		}
+		v.activateCTA(s, c, st)
+	}
+}
+
+func (v *Controller) activateCTA(s *sm.SM, c *warp.CTA, st *smState) {
+	from := c.State
+	if from == warp.CTAInactiveReady {
+		// Restoring a saved context pays the swap-in latency and frees
+		// its context-buffer space.
+		lat := v.swapLatency(s, c, false)
+		st.ports[st.freePort(s.Ev.Now())] = s.Ev.Now() + lat
+		st.ctxBytesUsed -= ctxBytesPerCTA(c)
+		v.Stats.SwapsIn++
+		v.Stats.SwapStallCycles += lat
+		// Occupy the slots now; warps become schedulable when the
+		// restore completes.
+		s.Activate(c)
+		c.State = warp.CTARestoring
+		v.trace(s, c, from, warp.CTARestoring)
+		s.Ev.After(lat, func() {
+			c.State = warp.CTAActive
+			c.ActivatedAt = s.Ev.Now()
+			v.trace(s, c, warp.CTARestoring, warp.CTAActive)
+		})
+		return
+	}
+	// Fresh CTA: no context to restore.
+	s.Activate(c)
+	v.Stats.FreshActivates++
+	v.trace(s, c, from, warp.CTAActive)
+}
+
+// pickReady returns the ready CTA preferred by the activation policy, or
+// nil when none is ready.
+func (v *Controller) pickReady(s *sm.SM) *warp.CTA {
+	newest := s.Cfg.VT.Activation == config.ActNewest
+	var best *warp.CTA
+	better := func(c, b *warp.CTA) bool {
+		if c.AssignedAt != b.AssignedAt {
+			if newest {
+				return c.AssignedAt > b.AssignedAt
+			}
+			return c.AssignedAt < b.AssignedAt
+		}
+		if newest {
+			return c.FlatID > b.FlatID
+		}
+		return c.FlatID < b.FlatID
+	}
+	for _, c := range s.Resident {
+		if c.State != warp.CTAPending && c.State != warp.CTAInactiveReady {
+			continue
+		}
+		if best == nil || better(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// swapOut deactivates active CTAs whose unfinished warps are blocked on
+// global-load dependences (or parked at barriers gated by them) beyond the
+// configured trigger fraction, provided a ready CTA exists to take the
+// slots, a context-buffer port is free, and the anti-thrash residency has
+// elapsed.
+func (v *Controller) swapOut(s *sm.SM) {
+	st := &v.perSM[s.ID]
+	if st.ports == nil {
+		st.ports = make([]int64, s.Cfg.VT.EffSwapPorts())
+	}
+	now := s.Ev.Now()
+	if st.freePort(now) < 0 {
+		return
+	}
+	if v.pickReady(s) == nil {
+		return // nothing to run instead; keep waiting in place
+	}
+	minElig := int64(-1)
+	for _, c := range s.Resident {
+		if c.State != warp.CTAActive {
+			continue
+		}
+		if elig := c.ActivatedAt + int64(s.Cfg.VT.MinResidencyCycles); now < elig {
+			// Not yet eligible; remember the earliest eligibility so
+			// the engine wakes up even if everything is stalled.
+			if minElig < 0 || elig < minElig {
+				minElig = elig
+			}
+			continue
+		}
+		if !v.stalledEnough(s, c, c.Launch.Kernel.Code) {
+			continue
+		}
+		// Swap out: save scheduling contexts, free the slots.
+		lat := v.swapLatency(s, c, true)
+		from := c.State
+		s.Deactivate(c)
+		st.ctxBytesUsed += ctxBytesPerCTA(c)
+		if st.ctxBytesUsed > v.Stats.ContextPeak {
+			v.Stats.ContextPeak = st.ctxBytesUsed
+		}
+		st.ports[st.freePort(now)] = now + lat
+		v.Stats.SwapsOut++
+		v.Stats.SwapStallCycles += lat
+		v.trace(s, c, from, c.State)
+		v.countInactive(s)
+		// Activate a replacement as soon as the context-buffer port
+		// frees.
+		s.Ev.After(lat, func() { v.activate(s) })
+		return // one swap per SM at a time
+	}
+	if minElig > 0 && st.wakeAt != minElig {
+		st.wakeAt = minElig
+		s.Ev.At(minElig, func() {}) // wake the idle-skip engine
+	}
+}
+
+func (v *Controller) countInactive(s *sm.SM) {
+	n := 0
+	for _, c := range s.Resident {
+		if c.State == warp.CTAInactiveWaiting || c.State == warp.CTAInactiveReady {
+			n++
+		}
+	}
+	if n > v.Stats.MaxInactive {
+		v.Stats.MaxInactive = n
+	}
+}
+
+// stalledEnough reports whether the CTA's unfinished warps are blocked on
+// outstanding global loads (or barrier-parked) beyond the trigger
+// fraction, with at least one memory-blocked warp. At the paper-default
+// fraction of 1.0, any issuable or short-latency-blocked warp vetoes the
+// swap.
+func (v *Controller) stalledEnough(s *sm.SM, c *warp.CTA, code []isa.Instr) bool {
+	frac := s.Cfg.VT.EffTriggerFraction()
+	anyMem := false
+	unfinished, blocked := 0, 0
+	for _, w := range c.Warps {
+		switch w.BlockedState(code, srcScratch[:]) {
+		case warp.BlockedDone:
+			continue
+		case warp.BlockedMem:
+			anyMem = true
+			blocked++
+		case warp.BlockedBarrier:
+			// Parked warps cost nothing to leave; they gate on peers.
+			blocked++
+		default:
+			if frac >= 1 {
+				return false // paper default: every warp must be stalled
+			}
+		}
+		unfinished++
+	}
+	if !anyMem || unfinished == 0 {
+		return false
+	}
+	return float64(blocked) >= frac*float64(unfinished)
+}
+
+var srcScratch [8]isa.Reg
+
+// CTARetired frees the retired CTA's accounting. Activation of a successor
+// happens in the next Cycle call.
+func (v *Controller) CTARetired(s *sm.SM, c *warp.CTA) {}
+
+// LoadsDrained fires when a swapped-out CTA's last outstanding load
+// returns; activation happens in the next Cycle call (the state change to
+// InactiveReady was already applied by the SM).
+func (v *Controller) LoadsDrained(s *sm.SM, c *warp.CTA) {}

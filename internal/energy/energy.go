@@ -1,0 +1,108 @@
+// Package energy provides a first-order analytic energy model over the
+// simulator's event counts, in the style of GPUWattch/McPAT estimates: a
+// per-event dynamic energy for each microarchitectural activity plus
+// leakage proportional to execution time. The paper argues Virtual Thread
+// is cheap in hardware; this model quantifies the consequence — the same
+// work finishing in fewer cycles burns less static energy, while swap
+// traffic adds a (tiny) dynamic term.
+//
+// Absolute joules are ballpark 40 nm-class constants; only relative
+// comparisons between policies on the same workload are meaningful, which
+// is how the table-energy experiment uses them.
+package energy
+
+import (
+	"repro/internal/config"
+	"repro/internal/gpu"
+)
+
+// Model holds per-event dynamic energies (picojoules) and static power
+// (watts per SM).
+type Model struct {
+	ALUOpPJ      float64 // per thread ALU instruction
+	SFUOpPJ      float64 // per thread SFU instruction
+	RFAccessPJ   float64 // per operand read/write per thread
+	SMemPJ       float64 // per shared-memory warp access
+	L1PJ         float64 // per L1 transaction
+	L2PJ         float64 // per L2 transaction
+	DRAMPJ       float64 // per DRAM burst
+	SwapBytePJ   float64 // per context byte moved by a VT swap
+	StaticWPerSM float64 // leakage + clock tree per SM
+	CoreClockHz  float64
+}
+
+// Default returns 40 nm-class constants (Fermi generation).
+func Default() Model {
+	return Model{
+		ALUOpPJ:      10,
+		SFUOpPJ:      40,
+		RFAccessPJ:   4,
+		SMemPJ:       110,
+		L1PJ:         180,
+		L2PJ:         400,
+		DRAMPJ:       8000,
+		SwapBytePJ:   2,
+		StaticWPerSM: 1.2,
+		CoreClockHz:  700e6,
+	}
+}
+
+// Breakdown is the estimated energy of one simulation, in millijoules.
+type Breakdown struct {
+	ALU    float64
+	SFU    float64
+	RF     float64
+	SMem   float64
+	L1     float64
+	L2     float64
+	DRAM   float64
+	Swap   float64
+	Static float64
+}
+
+// Dynamic returns the total dynamic energy (mJ).
+func (b Breakdown) Dynamic() float64 {
+	return b.ALU + b.SFU + b.RF + b.SMem + b.L1 + b.L2 + b.DRAM + b.Swap
+}
+
+// Total returns dynamic + static energy (mJ).
+func (b Breakdown) Total() float64 { return b.Dynamic() + b.Static }
+
+// Estimate computes the energy breakdown for a simulation result.
+func (m Model) Estimate(res *gpu.Result, cfg *config.GPUConfig) Breakdown {
+	const pJtomJ = 1e-9
+	threadALU := float64(res.SM.ThreadInstrs - res.SM.SFUIssued*int64(cfg.WarpSize))
+	if threadALU < 0 {
+		threadALU = 0
+	}
+	threadSFU := float64(res.SM.SFUIssued * int64(cfg.WarpSize))
+	// ~3 register-file operand accesses per thread instruction.
+	rfAccesses := 3 * float64(res.SM.ThreadInstrs)
+
+	var b Breakdown
+	b.ALU = threadALU * m.ALUOpPJ * pJtomJ
+	b.SFU = threadSFU * m.SFUOpPJ * pJtomJ
+	b.RF = rfAccesses * m.RFAccessPJ * pJtomJ
+	b.SMem = float64(res.SM.SMemAccesses) * m.SMemPJ * pJtomJ
+	b.L1 = float64(res.Mem.L1Accesses) * m.L1PJ * pJtomJ
+	b.L2 = float64(res.Mem.L2Accesses) * m.L2PJ * pJtomJ
+	b.DRAM = float64(res.Mem.DRAMReads+res.Mem.DRAMWrites) * m.DRAMPJ * pJtomJ
+	// Swap traffic: both directions move roughly the peak per-CTA context.
+	swapBytes := float64(res.VT.SwapsOut+res.VT.SwapsIn) * avgCtxBytes(res)
+	b.Swap = swapBytes * m.SwapBytePJ * pJtomJ
+
+	seconds := float64(res.Cycles) / m.CoreClockHz
+	b.Static = m.StaticWPerSM * float64(cfg.NumSMs) * seconds * 1e3 // W*s -> mJ
+	return b
+}
+
+// avgCtxBytes approximates the context footprint per swap from the
+// occupancy footprint: warps x depth-1 context.
+func avgCtxBytes(res *gpu.Result) float64 {
+	return float64(res.Occupancy.Footprint.Warps * 92)
+}
+
+// EDP returns the energy-delay product (mJ x Mcycles) for ranking designs.
+func EDP(b Breakdown, cycles int64) float64 {
+	return b.Total() * float64(cycles) / 1e6
+}

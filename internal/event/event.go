@@ -1,0 +1,87 @@
+// Package event provides the discrete-event spine of the simulator: a
+// min-heap of callbacks keyed by cycle. The GPU engine advances the clock
+// cycle by cycle; components (caches, DRAM partitions, execution pipelines,
+// the Virtual Thread swap engine) schedule future work instead of being
+// ticked every cycle, which keeps the simulator fast and the timing code
+// local to each component.
+package event
+
+import "container/heap"
+
+// Func is a scheduled callback.
+type Func func()
+
+type item struct {
+	cycle int64
+	seq   uint64 // FIFO tie-break for determinism
+	fn    Func
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Queue is a deterministic discrete-event queue. Events scheduled for the
+// same cycle run in scheduling order. Queue is not safe for concurrent use;
+// each simulation owns one.
+type Queue struct {
+	h   itemHeap
+	now int64
+	seq uint64
+}
+
+// NewQueue returns an empty queue at cycle 0.
+func NewQueue() *Queue { return &Queue{} }
+
+// Now returns the current cycle.
+func (q *Queue) Now() int64 { return q.now }
+
+// At schedules fn to run at the given cycle. Scheduling in the past (or the
+// present) runs the event when the current cycle is (re)drained.
+func (q *Queue) At(cycle int64, fn Func) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	heap.Push(&q.h, item{cycle: cycle, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+// After schedules fn delay cycles from now.
+func (q *Queue) After(delay int64, fn Func) { q.At(q.now+delay, fn) }
+
+// AdvanceTo sets the clock to cycle and runs every event due at or before
+// it, in (cycle, scheduling-order) order. Events may schedule new events,
+// including for the current cycle.
+func (q *Queue) AdvanceTo(cycle int64) {
+	for len(q.h) > 0 && q.h[0].cycle <= cycle {
+		it := heap.Pop(&q.h).(item)
+		if it.cycle > q.now {
+			q.now = it.cycle
+		}
+		it.fn()
+	}
+	if cycle > q.now {
+		q.now = cycle
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (q *Queue) Pending() int { return len(q.h) }
+
+// NextCycle returns the cycle of the earliest pending event, and ok=false
+// when the queue is empty. Used by the engine to skip idle cycles.
+func (q *Queue) NextCycle() (int64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].cycle, true
+}

@@ -1,0 +1,370 @@
+// Package gpu assembles the whole simulated GPU — SMs, memory system,
+// event queue, CTA dispenser, and the configured CTA scheduling policy —
+// and runs a kernel launch to completion, returning aggregate statistics.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cta"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sm"
+	"repro/internal/warp"
+)
+
+// DefaultMaxCycles aborts runaway simulations.
+const DefaultMaxCycles = 200_000_000
+
+// Sample is one point of the occupancy timeline (Options.SampleInterval).
+type Sample struct {
+	Cycle         int64
+	ActiveWarps   float64 // slot-bound warps per SM at the sample point
+	ResidentWarps float64 // resident warps per SM (incl. inactive CTAs)
+	IPC           float64 // GPU-wide IPC over the preceding interval
+}
+
+// PerKernel summarizes one launch of a multi-kernel run.
+type PerKernel struct {
+	Name   string
+	CTAs   int   // CTAs in the launch's grid
+	Issued int64 // warp instructions issued on its behalf
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Kernel string
+	Policy config.Policy
+	Cycles int64
+
+	// PerKernel has one entry per launch (one for plain Run).
+	PerKernel []PerKernel
+
+	SM  sm.Stats   // aggregated over all SMs
+	Mem mem.Stats  // memory-system counters
+	VT  core.Stats // zero for non-VT policies
+
+	NumSMs     int
+	Schedulers int
+	WarpSize   int
+	Occupancy  cta.Occupancy
+
+	// Timeline holds occupancy samples when Options.SampleInterval > 0.
+	Timeline []Sample
+}
+
+// IPC returns total warp instructions per cycle across the GPU.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SM.Issued) / float64(r.Cycles)
+}
+
+// AvgActiveWarpsPerSM returns the mean number of slot-bound warps per SM.
+func (r *Result) AvgActiveWarpsPerSM() float64 {
+	if r.SM.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SM.ActiveWarpAccum) / float64(r.SM.Cycles)
+}
+
+// AvgResidentWarpsPerSM returns the mean resident (active + inactive)
+// warps per SM — the thread-level parallelism VT exposes.
+func (r *Result) AvgResidentWarpsPerSM() float64 {
+	if r.SM.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SM.ResidentWarpAccum) / float64(r.SM.Cycles)
+}
+
+// AvgActiveCTAsPerSM returns the mean active CTAs per SM.
+func (r *Result) AvgActiveCTAsPerSM() float64 {
+	if r.SM.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SM.ActiveCTAAccum) / float64(r.SM.Cycles)
+}
+
+// AvgResidentCTAsPerSM returns the mean resident CTAs per SM.
+func (r *Result) AvgResidentCTAsPerSM() float64 {
+	if r.SM.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SM.ResidentCTAAccum) / float64(r.SM.Cycles)
+}
+
+// SIMDEfficiency returns the mean fraction of lanes active per issued
+// warp instruction (1.0 = divergence-free full warps).
+func (r *Result) SIMDEfficiency() float64 {
+	if r.SM.Issued == 0 {
+		return 0
+	}
+	ws := r.WarpSize
+	if ws == 0 {
+		ws = 32
+	}
+	return float64(r.SM.ThreadInstrs) / float64(r.SM.Issued) / float64(ws)
+}
+
+// baselineController implements the stock GPU CTA dispatcher: launch CTAs
+// onto an SM while both the scheduling and capacity limits admit them, and
+// refill as CTAs retire. With config.PolicyIdeal the scheduling limits are
+// effectively unbounded, making this the upper-bound policy too.
+type baselineController struct {
+	src cta.Source
+}
+
+func (b *baselineController) Cycle(s *sm.SM) {
+	for {
+		c := b.src.Next(func(regs, smem, warps, threads int) bool {
+			return s.HasCapacityFor(regs, smem) && s.CanActivateFor(warps, threads)
+		})
+		if c == nil {
+			return
+		}
+		s.AddResident(c)
+		s.Activate(c)
+	}
+}
+
+func (b *baselineController) CTARetired(s *sm.SM, c *warp.CTA)   {}
+func (b *baselineController) LoadsDrained(s *sm.SM, c *warp.CTA) {}
+
+// Options customize a simulation run.
+type Options struct {
+	// InitMemory preloads the functional global memory (graph inputs,
+	// matrices) before the launch.
+	InitMemory func(*mem.Backing)
+	// Trace receives Virtual Thread CTA state transitions (VT policies
+	// only).
+	Trace func(core.TraceEvent)
+	// KeepBacking, when non-nil, receives the backing store after the
+	// run so callers can verify kernel outputs.
+	KeepBacking func(*mem.Backing)
+	// DisableIdleSkip forces the engine to simulate every cycle instead
+	// of fast-forwarding across quiescent stall periods. The results
+	// must be identical either way (tested); this exists to verify that
+	// property and to debug the skip heuristic.
+	DisableIdleSkip bool
+	// SampleInterval, when positive, records an occupancy/IPC sample
+	// every that-many cycles into Result.Timeline.
+	SampleInterval int64
+}
+
+// Run simulates one launch on the configured GPU and returns its result.
+func Run(l *isa.Launch, cfg config.GPUConfig, opts Options) (*Result, error) {
+	return RunMulti([]*isa.Launch{l}, cfg, opts)
+}
+
+// RunMulti simulates several launches executing concurrently on the GPU
+// (Fermi-style concurrent kernel execution): the dispatcher interleaves
+// their CTAs round-robin onto SMs, and under the VT policies inactive
+// CTAs of different kernels share each SM's capacity.
+func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(launches) == 0 {
+		return nil, fmt.Errorf("gpu: no launches")
+	}
+	_, maxWarps, maxThreads := cfg.EffectiveSchedulingLimits()
+	for _, l := range launches {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		fp := cta.ComputeFootprint(l, &cfg)
+		if fp.Regs > cfg.RegFileSize || fp.SMem > cfg.SharedMemPerSM {
+			return nil, fmt.Errorf("gpu: kernel %q: one CTA exceeds SM capacity", l.Kernel.Name)
+		}
+		if fp.Warps > maxWarps || fp.Threads > maxThreads {
+			return nil, fmt.Errorf("gpu: kernel %q: one CTA exceeds scheduling limits", l.Kernel.Name)
+		}
+	}
+
+	ev := event.NewQueue()
+	backing := mem.NewBacking()
+	if opts.InitMemory != nil {
+		opts.InitMemory(backing)
+	}
+	msys := mem.NewSystem(&cfg, ev)
+	grid := cta.NewMultiGrid(launches, &cfg)
+
+	var ctl sm.Controller
+	var vt *core.Controller
+	switch cfg.Policy {
+	case config.PolicyVT, config.PolicyFullSwap:
+		vt = core.NewController(grid, cfg.NumSMs, cfg.Policy == config.PolicyFullSwap)
+		vt.Trace = opts.Trace
+		ctl = vt
+	default:
+		ctl = &baselineController{src: grid}
+	}
+
+	sms := make([]*sm.SM, cfg.NumSMs)
+	for i := range sms {
+		sms[i] = sm.New(i, &cfg, ev, msys, backing, len(launches), ctl)
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
+
+	var timeline []Sample
+	var nextSample, lastIssuedTot, lastSampleCycle int64
+	if opts.SampleInterval > 0 {
+		nextSample = opts.SampleInterval
+	}
+	sample := func(cycle int64) {
+		aw, rw := 0, 0
+		var issuedTot int64
+		for _, s := range sms {
+			aw += s.WarpsUsed
+			issuedTot += s.Stats.Issued
+			for _, c := range s.Resident {
+				rw += len(c.Warps)
+			}
+		}
+		ipc := 0.0
+		if d := cycle - lastSampleCycle; d > 0 {
+			ipc = float64(issuedTot-lastIssuedTot) / float64(d)
+		}
+		lastIssuedTot, lastSampleCycle = issuedTot, cycle
+		timeline = append(timeline, Sample{
+			Cycle:         cycle,
+			ActiveWarps:   float64(aw) / float64(cfg.NumSMs),
+			ResidentWarps: float64(rw) / float64(cfg.NumSMs),
+			IPC:           ipc,
+		})
+	}
+
+	cycle := int64(0)
+	for {
+		if grid.Remaining() == 0 {
+			done := true
+			for _, s := range sms {
+				if !s.Idle() {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+
+		issued := false
+		for _, s := range sms {
+			if s.Cycle() {
+				issued = true
+			}
+		}
+
+		next := cycle + 1
+		if !issued && !opts.DisableIdleSkip {
+			// Fast-forward across stall periods: nothing inside any SM
+			// can change state until the next scheduled event.
+			quiet := true
+			for _, s := range sms {
+				if !s.Quiescent() {
+					quiet = false
+					break
+				}
+			}
+			if quiet {
+				if evNext, ok := ev.NextCycle(); ok && evNext > next {
+					next = evNext
+					for _, s := range sms {
+						s.AccountSkipped(next - cycle - 1)
+					}
+				} else if !ok {
+					// No events pending and nothing schedulable:
+					// the simulation cannot make progress.
+					return nil, fmt.Errorf("gpu: kernel %q deadlocked at cycle %d",
+						launches[0].Kernel.Name, cycle)
+				}
+			}
+		}
+		if opts.SampleInterval > 0 {
+			for nextSample <= next {
+				sample(nextSample)
+				nextSample += opts.SampleInterval
+			}
+		}
+		cycle = next
+		ev.AdvanceTo(cycle)
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("gpu: kernel %q exceeded %d cycles",
+				launches[0].Kernel.Name, maxCycles)
+		}
+	}
+
+	name := launches[0].Kernel.Name
+	for _, l := range launches[1:] {
+		name += "+" + l.Kernel.Name
+	}
+	res := &Result{
+		Kernel:     name,
+		Policy:     cfg.Policy,
+		Cycles:     cycle,
+		Mem:        msys.Stats,
+		NumSMs:     cfg.NumSMs,
+		Schedulers: cfg.NumSchedulers,
+		WarpSize:   cfg.WarpSize,
+		Occupancy:  cta.ComputeOccupancy(launches[0], &cfg),
+	}
+	for _, l := range launches {
+		res.PerKernel = append(res.PerKernel, PerKernel{
+			Name: l.Kernel.Name,
+			CTAs: l.GridDim.Size(),
+		})
+	}
+	for _, s := range sms {
+		agg := &res.SM
+		st := s.Stats
+		for k := range res.PerKernel {
+			if k < len(st.IssuedPerKernel) {
+				res.PerKernel[k].Issued += st.IssuedPerKernel[k]
+			}
+		}
+		agg.Issued += st.Issued
+		agg.ThreadInstrs += st.ThreadInstrs
+		agg.SlotIssued += st.SlotIssued
+		agg.SlotStallMem += st.SlotStallMem
+		agg.SlotStallALU += st.SlotStallALU
+		agg.SlotStallBar += st.SlotStallBar
+		agg.SlotStallStr += st.SlotStallStr
+		agg.SlotIdle += st.SlotIdle
+		agg.ActiveWarpAccum += st.ActiveWarpAccum
+		agg.ResidentWarpAccum += st.ResidentWarpAccum
+		agg.ActiveCTAAccum += st.ActiveCTAAccum
+		agg.ResidentCTAAccum += st.ResidentCTAAccum
+		agg.SFUIssued += st.SFUIssued
+		agg.SMemAccesses += st.SMemAccesses
+		agg.RFBankConflictCyc += st.RFBankConflictCyc
+		agg.CTAsCompleted += st.CTAsCompleted
+		agg.BarrierReleases += st.BarrierReleases
+		agg.SMemConflictCyc += st.SMemConflictCyc
+		agg.GlobalTxns += st.GlobalTxns
+		agg.LSURetries += st.LSURetries
+	}
+	// Per-SM cycle accumulators are averaged over SM count so that
+	// "per SM" metrics read naturally.
+	res.SM.Cycles = cycle
+	res.SM.ActiveWarpAccum /= int64(cfg.NumSMs)
+	res.SM.ResidentWarpAccum /= int64(cfg.NumSMs)
+	res.SM.ActiveCTAAccum /= int64(cfg.NumSMs)
+	res.SM.ResidentCTAAccum /= int64(cfg.NumSMs)
+	res.Timeline = timeline
+	if vt != nil {
+		res.VT = vt.Stats
+	}
+	if opts.KeepBacking != nil {
+		opts.KeepBacking(backing)
+	}
+	return res, nil
+}

@@ -1,0 +1,503 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/cta"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(tableConfig())
+	register(tableBenchmarks())
+	register(figLimiter())
+	register(figTLP())
+	register(figSpeedup())
+	register(figIdealGap())
+	register(figFullSwap())
+	register(figSwapLatency())
+	register(figVirtualCap())
+	register(figRFSize())
+	register(figScheduler())
+	register(tableSwap())
+	register(tableHardware())
+}
+
+// tableConfig reproduces the simulated-hardware configuration table.
+func tableConfig() Experiment {
+	return Experiment{
+		ID:    "table1-config",
+		Title: "Simulated GPU configuration",
+		Paper: "GPGPU-Sim GTX 480 profile: 15 SMs, 48 warps/8 CTAs/1536 threads per SM, 128 KB registers, 48 KB shared memory",
+		Run: func(p Params, w io.Writer) error {
+			c := p.Config
+			t := stats.NewTable("simulated hardware", "parameter", "value")
+			t.Rowf("SMs", c.NumSMs)
+			t.Rowf("warp size", c.WarpSize)
+			t.Rowf("warp schedulers / SM", fmt.Sprintf("%d (%s)", c.NumSchedulers, c.Scheduler))
+			t.Rowf("max CTAs / SM (scheduling)", c.MaxCTAsPerSM)
+			t.Rowf("max warps / SM (scheduling)", c.MaxWarpsPerSM)
+			t.Rowf("max threads / SM (scheduling)", c.MaxThreadsPerSM)
+			t.Rowf("register file / SM (capacity)", fmt.Sprintf("%d KB", c.RegFileSize*4/1024))
+			t.Rowf("shared memory / SM (capacity)", fmt.Sprintf("%d KB", c.SharedMemPerSM/1024))
+			t.Rowf("L1D / SM", fmt.Sprintf("%d KB, %d-way, %d B lines, %d MSHRs",
+				c.L1D.SizeBytes()/1024, c.L1D.Ways, c.L1D.LineSize, c.L1D.MSHRs))
+			t.Rowf("L2 (total)", fmt.Sprintf("%d KB across %d partitions",
+				c.L2.SizeBytes()*c.NumMemPartitions/1024, c.NumMemPartitions))
+			t.Rowf("DRAM latency / service", fmt.Sprintf("%d cyc + %d cyc per 128 B burst",
+				c.DRAMLatency, c.DRAMServiceCycles))
+			t.Rowf("VT swap latency (out/in)", fmt.Sprintf("%d / %d cyc", c.VT.SwapOutLatency, c.VT.SwapInLatency))
+			t.Rowf("VT context buffer / SM", fmt.Sprintf("%d KB", c.VT.ContextBufferBytes/1024))
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// tableBenchmarks reproduces the benchmark-characteristics table with the
+// binding occupancy limiter per workload.
+func tableBenchmarks() Experiment {
+	return Experiment{
+		ID:    "table2-benchmarks",
+		Title: "Benchmark characteristics and occupancy limiter",
+		Paper: "motivation: concurrency in most general-purpose workloads is curtailed by the scheduling limit, not the capacity limit",
+		Run: func(p Params, w io.Writer) error {
+			t := stats.NewTable("workloads",
+				"workload", "threads/CTA", "regs/thr", "shmem/CTA", "CTAs/SM", "capacity-CTAs", "limiter", "sched-limited")
+			sched := 0
+			for _, wl := range kernels.Suite(p.Scale) {
+				o := cta.ComputeOccupancy(wl.Launch, &p.Config)
+				if o.SchedulingLimited() {
+					sched++
+				}
+				t.Rowf(wl.Name, wl.Launch.BlockDim.Size(), wl.Launch.Kernel.NumRegs,
+					wl.Launch.Kernel.SMemBytes, o.CTAs, o.CapacityCTAs,
+					o.Limiter.String(), fmt.Sprintf("%v", o.SchedulingLimited()))
+			}
+			t.Note("%d of %d workloads are scheduling-limited", sched, len(kernels.Names()))
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// figLimiter reproduces the motivation figure: the fraction of
+// capacity-supported thread-level parallelism the scheduling limit denies.
+func figLimiter() Experiment {
+	return Experiment{
+		ID:    "fig-limiter",
+		Title: "TLP lost to the scheduling limit (static analysis)",
+		Paper: "scheduling structures strand large fractions of on-chip memory capacity",
+		Run: func(p Params, w io.Writer) error {
+			t := stats.NewTable("stranded parallelism",
+				"workload", "warps(sched)", "warps(capacity)", "stranded")
+			var fractions []float64
+			for _, wl := range kernels.Suite(p.Scale) {
+				o := cta.ComputeOccupancy(wl.Launch, &p.Config)
+				ws := o.CTAs * o.Footprint.Warps
+				wc := o.CapacityCTAs * o.Footprint.Warps
+				if wc > p.Config.MaxWarpsPerSM*4 {
+					wc = p.Config.MaxWarpsPerSM * 4 // context-buffer-scale bound for display
+				}
+				frac := 0.0
+				if wc > ws {
+					frac = 1 - float64(ws)/float64(wc)
+				}
+				fractions = append(fractions, frac)
+				t.Rowf(wl.Name, ws, wc, fmt.Sprintf("%.0f%%", frac*100))
+			}
+			t.Note("mean stranded TLP: %.0f%%", stats.Mean(fractions)*100)
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// figTLP reproduces the thread-level-parallelism figure: average active and
+// resident warps per SM under each policy.
+func figTLP() Experiment {
+	return Experiment{
+		ID:    "fig-tlp",
+		Title: "Average active/resident warps per SM (baseline vs VT vs ideal)",
+		Paper: "VT keeps capacity-limit-many CTAs resident while active CTAs respect the scheduling limit",
+		Run: func(p Params, w io.Writer) error {
+			pols := []config.Policy{config.PolicyBaseline, config.PolicyVT, config.PolicyIdeal}
+			res, err := runMany(p, policyJobs(suiteNames(), pols))
+			if err != nil {
+				return err
+			}
+			t := stats.NewTable("warps per SM",
+				"workload", "base-active", "vt-active", "vt-resident", "ideal-active")
+			for _, n := range suiteNames() {
+				b := res[key{n, "baseline"}]
+				v := res[key{n, "vt"}]
+				i := res[key{n, "ideal"}]
+				t.Rowf(n, b.AvgActiveWarpsPerSM(), v.AvgActiveWarpsPerSM(),
+					v.AvgResidentWarpsPerSM(), i.AvgActiveWarpsPerSM())
+			}
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// figSpeedup reproduces the headline result: per-workload VT speedup over
+// the baseline.
+func figSpeedup() Experiment {
+	return Experiment{
+		ID:    "fig-speedup",
+		Title: "VT speedup over baseline (headline result)",
+		Paper: "VT improves performance by 23.9% on average [abstract]",
+		Run: func(p Params, w io.Writer) error {
+			pols := []config.Policy{config.PolicyBaseline, config.PolicyVT}
+			res, err := runMany(p, policyJobs(suiteNames(), pols))
+			if err != nil {
+				return err
+			}
+			t := stats.NewTable("speedup", "workload", "base-IPC", "vt-IPC", "speedup", "swaps")
+			var sp []float64
+			for _, n := range suiteNames() {
+				b := res[key{n, "baseline"}]
+				v := res[key{n, "vt"}]
+				s := float64(b.Cycles) / float64(v.Cycles)
+				sp = append(sp, s)
+				t.Rowf(n, b.IPC(), v.IPC(), s, v.VT.SwapsOut)
+			}
+			t.Note("average speedup: %s (arithmetic), %s (geometric); paper reports +23.9%% average",
+				stats.Pct(stats.Mean(sp)), stats.Pct(stats.GeoMean(sp)))
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// figIdealGap reproduces the comparison against unbounded scheduling
+// structures.
+func figIdealGap() Experiment {
+	return Experiment{
+		ID:    "fig-ideal-gap",
+		Title: "VT vs ideal (unbounded scheduling structures)",
+		Paper: "VT approaches the performance of scaling the scheduling structures without their hardware cost",
+		Run: func(p Params, w io.Writer) error {
+			pols := []config.Policy{config.PolicyBaseline, config.PolicyVT, config.PolicyIdeal}
+			res, err := runMany(p, policyJobs(suiteNames(), pols))
+			if err != nil {
+				return err
+			}
+			t := stats.NewTable("normalized to baseline", "workload", "vt", "ideal", "vt-capture")
+			var caps []float64
+			for _, n := range suiteNames() {
+				b := float64(res[key{n, "baseline"}].Cycles)
+				v := b / float64(res[key{n, "vt"}].Cycles)
+				i := b / float64(res[key{n, "ideal"}].Cycles)
+				// Capture is only meaningful where ideal actually gains.
+				capture := "-"
+				if i > 1.05 {
+					c := (v - 1) / (i - 1)
+					caps = append(caps, c)
+					capture = fmt.Sprintf("%.0f%%", c*100)
+				}
+				t.Rowf(n, v, i, capture)
+			}
+			t.Note("mean capture of ideal's gain (where ideal gains >5%%): %.0f%%",
+				stats.Mean(caps)*100)
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// figFullSwap reproduces the strawman comparison: swapping full contexts
+// off-chip instead of keeping them resident.
+func figFullSwap() Experiment {
+	return Experiment{
+		ID:    "fig-fullswap",
+		Title: "VT vs off-chip context switching (FullSwap strawman)",
+		Paper: "keeping both active and inactive CTAs within the capacity limit obviates saving/restoring large CTA state",
+		Run: func(p Params, w io.Writer) error {
+			pols := []config.Policy{config.PolicyBaseline, config.PolicyVT, config.PolicyFullSwap}
+			res, err := runMany(p, policyJobs(suiteNames(), pols))
+			if err != nil {
+				return err
+			}
+			t := stats.NewTable("normalized to baseline", "workload", "vt", "fullswap")
+			var vs, fs []float64
+			for _, n := range suiteNames() {
+				b := float64(res[key{n, "baseline"}].Cycles)
+				v := b / float64(res[key{n, "vt"}].Cycles)
+				f := b / float64(res[key{n, "fullswap"}].Cycles)
+				vs = append(vs, v)
+				fs = append(fs, f)
+				t.Rowf(n, v, f)
+			}
+			t.Note("geomean: vt %s, fullswap %s", stats.Pct(stats.GeoMean(vs)), stats.Pct(stats.GeoMean(fs)))
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// figSwapLatency reproduces the swap-latency sensitivity sweep.
+func figSwapLatency() Experiment {
+	lats := []int{0, 8, 24, 64, 128, 256, 512}
+	return Experiment{
+		ID:    "fig-swaplat",
+		Title: "Sensitivity to swap latency (sweep subset)",
+		Paper: "VT's benefit relies on swaps costing only scheduling-state save/restore",
+		Run: func(p Params, w io.Writer) error {
+			var jobs []job
+			for _, n := range sweepNames() {
+				jobs = append(jobs, job{workload: n, variant: "baseline"})
+				for _, l := range lats {
+					l := l
+					jobs = append(jobs, job{
+						workload: n,
+						variant:  fmt.Sprintf("lat%d", l),
+						mutate: func(c *config.GPUConfig) {
+							c.Policy = config.PolicyVT
+							c.VT.SwapOutLatency = l
+							c.VT.SwapInLatency = l
+						},
+					})
+				}
+			}
+			res, err := runMany(p, jobs)
+			if err != nil {
+				return err
+			}
+			headers := []string{"workload"}
+			for _, l := range lats {
+				headers = append(headers, fmt.Sprintf("lat=%d", l))
+			}
+			t := stats.NewTable("VT speedup vs swap latency", headers...)
+			perLat := make(map[int][]float64)
+			for _, n := range sweepNames() {
+				b := float64(res[key{n, "baseline"}].Cycles)
+				row := []any{n}
+				for _, l := range lats {
+					s := b / float64(res[key{n, fmt.Sprintf("lat%d", l)}].Cycles)
+					perLat[l] = append(perLat[l], s)
+					row = append(row, s)
+				}
+				t.Rowf(row...)
+			}
+			row := []any{"geomean"}
+			for _, l := range lats {
+				row = append(row, stats.GeoMean(perLat[l]))
+			}
+			t.Rowf(row...)
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// figVirtualCap reproduces the virtual-CTA-budget sensitivity sweep.
+func figVirtualCap() Experiment {
+	caps := []int{8, 12, 16, 24, 32, 0} // 0 = capacity bound
+	return Experiment{
+		ID:    "fig-virtcap",
+		Title: "Sensitivity to the virtual CTA budget (sweep subset)",
+		Paper: "benefit grows with resident CTAs until capacity binds",
+		Run: func(p Params, w io.Writer) error {
+			var jobs []job
+			for _, n := range sweepNames() {
+				jobs = append(jobs, job{workload: n, variant: "baseline"})
+				for _, cp := range caps {
+					cp := cp
+					jobs = append(jobs, job{
+						workload: n,
+						variant:  fmt.Sprintf("cap%d", cp),
+						mutate: func(c *config.GPUConfig) {
+							c.Policy = config.PolicyVT
+							c.VT.MaxVirtualCTAsPerSM = cp
+						},
+					})
+				}
+			}
+			res, err := runMany(p, jobs)
+			if err != nil {
+				return err
+			}
+			headers := []string{"workload"}
+			for _, cp := range caps {
+				if cp == 0 {
+					headers = append(headers, "cap=inf")
+				} else {
+					headers = append(headers, fmt.Sprintf("cap=%d", cp))
+				}
+			}
+			t := stats.NewTable("VT speedup vs virtual CTA budget", headers...)
+			perCap := make(map[int][]float64)
+			for _, n := range sweepNames() {
+				b := float64(res[key{n, "baseline"}].Cycles)
+				row := []any{n}
+				for _, cp := range caps {
+					s := b / float64(res[key{n, fmt.Sprintf("cap%d", cp)}].Cycles)
+					perCap[cp] = append(perCap[cp], s)
+					row = append(row, s)
+				}
+				t.Rowf(row...)
+			}
+			row := []any{"geomean"}
+			for _, cp := range caps {
+				row = append(row, stats.GeoMean(perCap[cp]))
+			}
+			t.Rowf(row...)
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// figRFSize reproduces the register-file-size sensitivity study.
+func figRFSize() Experiment {
+	sizes := []int{16384, 32768, 65536} // 64/128/256 KB
+	return Experiment{
+		ID:    "fig-rfsize",
+		Title: "Sensitivity to register file size (sweep subset)",
+		Paper: "a larger register file raises the capacity limit and VT's headroom",
+		Run: func(p Params, w io.Writer) error {
+			var jobs []job
+			for _, n := range sweepNames() {
+				for _, sz := range sizes {
+					sz := sz
+					for _, pol := range []config.Policy{config.PolicyBaseline, config.PolicyVT} {
+						pol := pol
+						jobs = append(jobs, job{
+							workload: n,
+							variant:  fmt.Sprintf("%s-rf%d", pol, sz),
+							mutate: func(c *config.GPUConfig) {
+								c.Policy = pol
+								c.RegFileSize = sz
+							},
+						})
+					}
+				}
+			}
+			res, err := runMany(p, jobs)
+			if err != nil {
+				return err
+			}
+			headers := []string{"workload"}
+			for _, sz := range sizes {
+				headers = append(headers, fmt.Sprintf("rf=%dKB", sz*4/1024))
+			}
+			t := stats.NewTable("VT speedup vs register file size", headers...)
+			perSize := make(map[int][]float64)
+			for _, n := range sweepNames() {
+				row := []any{n}
+				for _, sz := range sizes {
+					b := float64(res[key{n, fmt.Sprintf("baseline-rf%d", sz)}].Cycles)
+					s := b / float64(res[key{n, fmt.Sprintf("vt-rf%d", sz)}].Cycles)
+					perSize[sz] = append(perSize[sz], s)
+					row = append(row, s)
+				}
+				t.Rowf(row...)
+			}
+			row := []any{"geomean"}
+			for _, sz := range sizes {
+				row = append(row, stats.GeoMean(perSize[sz]))
+			}
+			t.Rowf(row...)
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// figScheduler reproduces the warp-scheduler interaction study.
+func figScheduler() Experiment {
+	return Experiment{
+		ID:    "fig-sched",
+		Title: "Interaction with the warp scheduler (GTO vs LRR)",
+		Paper: "VT's gains are not an artifact of one warp scheduling policy",
+		Run: func(p Params, w io.Writer) error {
+			var jobs []job
+			for _, n := range sweepNames() {
+				for _, sk := range []config.SchedulerKind{config.SchedGTO, config.SchedLRR} {
+					sk := sk
+					for _, pol := range []config.Policy{config.PolicyBaseline, config.PolicyVT} {
+						pol := pol
+						jobs = append(jobs, job{
+							workload: n,
+							variant:  fmt.Sprintf("%s-%s", pol, sk),
+							mutate: func(c *config.GPUConfig) {
+								c.Policy = pol
+								c.Scheduler = sk
+							},
+						})
+					}
+				}
+			}
+			res, err := runMany(p, jobs)
+			if err != nil {
+				return err
+			}
+			t := stats.NewTable("VT speedup by scheduler", "workload", "gto", "lrr")
+			var g, l []float64
+			for _, n := range sweepNames() {
+				sg := float64(res[key{n, "baseline-gto"}].Cycles) / float64(res[key{n, "vt-gto"}].Cycles)
+				sl := float64(res[key{n, "baseline-lrr"}].Cycles) / float64(res[key{n, "vt-lrr"}].Cycles)
+				g = append(g, sg)
+				l = append(l, sl)
+				t.Rowf(n, sg, sl)
+			}
+			t.Note("geomean: gto %s, lrr %s", stats.Pct(stats.GeoMean(g)), stats.Pct(stats.GeoMean(l)))
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// tableSwap reproduces the swap-behaviour statistics table.
+func tableSwap() Experiment {
+	return Experiment{
+		ID:    "table-swap",
+		Title: "VT swap behaviour",
+		Paper: "swaps are frequent but cheap; context buffer stays small",
+		Run: func(p Params, w io.Writer) error {
+			res, err := runMany(p, policyJobs(suiteNames(), []config.Policy{config.PolicyVT}))
+			if err != nil {
+				return err
+			}
+			t := stats.NewTable("swap statistics",
+				"workload", "swaps-out", "swaps-in", "fresh", "stall-cyc", "ctx-peak(B)", "max-resident")
+			for _, n := range suiteNames() {
+				v := res[key{n, "vt"}]
+				t.Rowf(n, v.VT.SwapsOut, v.VT.SwapsIn, v.VT.FreshActivates,
+					v.VT.SwapStallCycles, v.VT.ContextPeak, v.VT.MaxResident)
+			}
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// tableHardware reproduces the hardware-overhead estimate.
+func tableHardware() Experiment {
+	return Experiment{
+		ID:    "table-hw",
+		Title: "VT hardware overhead estimate (static)",
+		Paper: "VT needs only a small context buffer plus CTA state bits, far below scaled scheduling structures",
+		Run: func(p Params, w io.Writer) error {
+			c := p.Config
+			t := stats.NewTable("per-SM overhead", "component", "bytes")
+			perWarpCtx := 4 + 20 + 64 + 4 // PC + depth-1 stack + scoreboard + flags
+			t.Rowf("context buffer (configured)", c.VT.ContextBufferBytes)
+			t.Rowf("warp context (depth-1 stack)", perWarpCtx)
+			t.Rowf("inactive 2-warp CTAs supported", c.VT.ContextBufferBytes/(2*perWarpCtx))
+			t.Rowf("inactive 8-warp CTAs supported", c.VT.ContextBufferBytes/(8*perWarpCtx))
+			t.Rowf("CTA state table (64 x 8 B)", 64*8)
+			perSM := c.VT.ContextBufferBytes + 64*8
+			t.Rowf("total per SM", perSM)
+			t.Rowf("total per GPU", perSM*c.NumSMs)
+			t.Note("compare: doubling warp slots replicates %d SIMT stacks + PCs per SM", c.MaxWarpsPerSM)
+			t.Fprint(w)
+			return nil
+		},
+	}
+}

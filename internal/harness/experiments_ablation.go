@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(ablationVT())
+	register(ablationModel())
+}
+
+// ablationVT explores the Virtual Thread design space the paper's
+// mechanism sections discuss: how eagerly to trigger swaps, which ready
+// CTA to activate, and how many context-buffer ports to provision.
+func ablationVT() Experiment {
+	variants := []struct {
+		name   string
+		mutate func(*config.GPUConfig)
+	}{
+		{"default", func(c *config.GPUConfig) {}},
+		{"act-newest", func(c *config.GPUConfig) { c.VT.Activation = config.ActNewest }},
+		{"trig-0.75", func(c *config.GPUConfig) { c.VT.TriggerFraction = 0.75 }},
+		{"trig-0.50", func(c *config.GPUConfig) { c.VT.TriggerFraction = 0.50 }},
+		{"ports-2", func(c *config.GPUConfig) { c.VT.SwapPorts = 2 }},
+		{"ports-4", func(c *config.GPUConfig) { c.VT.SwapPorts = 4 }},
+		{"no-min-res", func(c *config.GPUConfig) { c.VT.MinResidencyCycles = 0 }},
+	}
+	return Experiment{
+		ID:    "ablation-vt",
+		Title: "VT design-space ablation (sweep subset)",
+		Paper: "mechanism choices: full-stall trigger, FIFO-age activation, single context-buffer port",
+		Run: func(p Params, w io.Writer) error {
+			var jobs []job
+			for _, n := range sweepNames() {
+				jobs = append(jobs, job{workload: n, variant: "baseline"})
+				for _, v := range variants {
+					v := v
+					jobs = append(jobs, job{
+						workload: n,
+						variant:  v.name,
+						mutate: func(c *config.GPUConfig) {
+							c.Policy = config.PolicyVT
+							v.mutate(c)
+						},
+					})
+				}
+			}
+			res, err := runMany(p, jobs)
+			if err != nil {
+				return err
+			}
+			headers := []string{"workload"}
+			for _, v := range variants {
+				headers = append(headers, v.name)
+			}
+			t := stats.NewTable("VT speedup by mechanism variant", headers...)
+			per := make(map[string][]float64)
+			for _, n := range sweepNames() {
+				b := float64(res[key{n, "baseline"}].Cycles)
+				row := []any{n}
+				for _, v := range variants {
+					s := b / float64(res[key{n, v.name}].Cycles)
+					per[v.name] = append(per[v.name], s)
+					row = append(row, s)
+				}
+				t.Rowf(row...)
+			}
+			row := []any{"geomean"}
+			for _, v := range variants {
+				row = append(row, stats.GeoMean(per[v.name]))
+			}
+			t.Rowf(row...)
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+// ablationModel checks that VT's benefit is not an artifact of simulator
+// modeling detail: it holds with and without the DRAM row-buffer model and
+// with a banked register file.
+func ablationModel() Experiment {
+	models := []struct {
+		name   string
+		mutate func(*config.GPUConfig)
+	}{
+		{"default", func(c *config.GPUConfig) {}},
+		{"flat-dram", func(c *config.GPUConfig) { c.DRAMBanks = 0 }},
+		{"rf-banks", func(c *config.GPUConfig) { c.RegFileBanks = 16 }},
+		{"two-level", func(c *config.GPUConfig) { c.Scheduler = config.SchedTwoLevel }},
+	}
+	return Experiment{
+		ID:    "ablation-model",
+		Title: "Simulator-model ablation: VT gain robustness (sweep subset)",
+		Paper: "the benefit follows from scheduling-limit virtualization, not from one microarchitectural detail",
+		Run: func(p Params, w io.Writer) error {
+			var jobs []job
+			for _, n := range sweepNames() {
+				for _, m := range models {
+					m := m
+					for _, pol := range []config.Policy{config.PolicyBaseline, config.PolicyVT} {
+						pol := pol
+						jobs = append(jobs, job{
+							workload: n,
+							variant:  pol.String() + "-" + m.name,
+							mutate: func(c *config.GPUConfig) {
+								c.Policy = pol
+								m.mutate(c)
+							},
+						})
+					}
+				}
+			}
+			res, err := runMany(p, jobs)
+			if err != nil {
+				return err
+			}
+			headers := []string{"workload"}
+			for _, m := range models {
+				headers = append(headers, m.name)
+			}
+			t := stats.NewTable("VT speedup by simulator model", headers...)
+			per := make(map[string][]float64)
+			for _, n := range sweepNames() {
+				row := []any{n}
+				for _, m := range models {
+					b := float64(res[key{n, "baseline-" + m.name}].Cycles)
+					s := b / float64(res[key{n, "vt-" + m.name}].Cycles)
+					per[m.name] = append(per[m.name], s)
+					row = append(row, s)
+				}
+				t.Rowf(row...)
+			}
+			row := []any{"geomean"}
+			for _, m := range models {
+				row = append(row, stats.GeoMean(per[m.name]))
+			}
+			t.Rowf(row...)
+			t.Fprint(w)
+			return nil
+		},
+	}
+}
+
+func init() {
+	register(figExtras())
+}
+
+// figExtras evaluates the extension workloads (beyond the paper-facing
+// suite) under every policy, as future-work-style coverage.
+func figExtras() Experiment {
+	return Experiment{
+		ID:    "fig-extras",
+		Title: "Extension workloads (gemm, histogram, bitonic)",
+		Paper: "extension: additional workload classes beyond the reproduced suite",
+		Run: func(p Params, w io.Writer) error {
+			names := []string{"gemm", "histogram", "bitonic", "scatteradd"}
+			pols := []config.Policy{config.PolicyBaseline, config.PolicyVT, config.PolicyIdeal}
+			res, err := runMany(p, policyJobs(names, pols))
+			if err != nil {
+				return err
+			}
+			t := stats.NewTable("normalized to baseline", "workload", "vt", "ideal", "swaps")
+			for _, n := range names {
+				b := float64(res[key{n, "baseline"}].Cycles)
+				v := res[key{n, "vt"}]
+				i := res[key{n, "ideal"}]
+				t.Rowf(n, b/float64(v.Cycles), b/float64(i.Cycles), v.VT.SwapsOut)
+			}
+			t.Fprint(w)
+			return nil
+		},
+	}
+}

@@ -1,0 +1,183 @@
+// Package harness defines the reproduction experiments: one named entry
+// per table and figure of the paper's evaluation, each of which runs the
+// required simulations (in parallel) and prints the same rows/series the
+// paper reports. cmd/vtbench drives it; bench_test.go wraps every entry in
+// a testing.B benchmark.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+// Params configures a harness run.
+type Params struct {
+	// Scale multiplies every workload's grid size; 1 is the evaluation
+	// size used in EXPERIMENTS.md.
+	Scale int
+	// Config is the base hardware model (the paper's GTX 480 profile).
+	Config config.GPUConfig
+	// Workers bounds concurrent simulations; <=0 means GOMAXPROCS.
+	Workers int
+	// Dilute divides every grid size by this factor (minimum 8 CTAs);
+	// used by tests to run experiments quickly. <=1 means full size.
+	Dilute int
+}
+
+// DefaultParams returns the evaluation defaults.
+func DefaultParams() Params {
+	return Params{Scale: 1, Config: config.GTX480()}
+}
+
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the stable name used by cmd/vtbench and bench_test.go.
+	ID string
+	// Title describes what is reproduced.
+	Title string
+	// Paper states the paper-side expectation being tested.
+	Paper string
+	// Run executes the experiment and writes its table(s).
+	Run func(p Params, w io.Writer) error
+}
+
+var experiments []Experiment
+
+func register(e Experiment) { experiments = append(experiments, e) }
+
+// Experiments returns all experiments in registration (paper) order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(experiments))
+	copy(out, experiments)
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(experiments))
+	for _, e := range experiments {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (known: %v)", id, ids)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(p Params, w io.Writer) error {
+	for _, e := range experiments {
+		fmt.Fprintf(w, "### %s — %s\n", e.ID, e.Title)
+		if e.Paper != "" {
+			fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
+		}
+		if err := e.Run(p, w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// job is one simulation request.
+type job struct {
+	workload string
+	variant  string // distinguishes sweep points; "" for plain runs
+	mutate   func(*config.GPUConfig)
+}
+
+// key identifies a completed run.
+type key struct {
+	Workload string
+	Variant  string
+}
+
+// runMany executes all jobs with bounded parallelism and returns results
+// keyed by (workload, variant). Any simulation error aborts the batch.
+func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
+	results := make(map[key]*gpu.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, p.workers())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			w, err := kernels.Build(j.workload, p.Scale)
+			if err == nil {
+				if p.Dilute > 1 {
+					g := w.Launch.GridDim.Size() / p.Dilute
+					if g < 8 {
+						g = 8
+					}
+					w.Launch.GridDim = isa.Dim1(g)
+				}
+				cfg := p.Config
+				if j.mutate != nil {
+					j.mutate(&cfg)
+				}
+				var res *gpu.Result
+				res, err = gpu.Run(w.Launch, cfg, gpu.Options{InitMemory: w.Init})
+				if err == nil {
+					mu.Lock()
+					results[key{j.workload, j.variant}] = res
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s/%s: %w", j.workload, j.variant, err)
+			}
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// policyJobs builds one job per (workload, policy) pair.
+func policyJobs(names []string, policies []config.Policy) []job {
+	var jobs []job
+	for _, n := range names {
+		for _, p := range policies {
+			p := p
+			jobs = append(jobs, job{
+				workload: n,
+				variant:  p.String(),
+				mutate:   func(c *config.GPUConfig) { c.Policy = p },
+			})
+		}
+	}
+	return jobs
+}
+
+// suiteNames returns every workload name.
+func suiteNames() []string { return kernels.Names() }
+
+// sweepNames is the focused subset used by the parameter sweeps: the five
+// scheduling-limited gainers plus one capacity-limited control, chosen to
+// keep sweep run time tractable while covering both regimes.
+func sweepNames() []string {
+	return []string{"bfs", "spmv", "pathfinder", "lud", "nw", "srad"}
+}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func testParams() Params {
+	return Params{Scale: 1, Config: config.GTX480(), Dilute: 30}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1-config", "table2-benchmarks", "fig-limiter", "fig-tlp",
+		"fig-speedup", "fig-ideal-gap", "fig-fullswap", "fig-swaplat",
+		"fig-virtcap", "fig-rfsize", "fig-sched", "table-swap", "table-hw",
+		"ablation-vt", "ablation-model", "fig-extras",
+		"table-energy", "fig-kepler", "fig-multikernel",
+	}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %d, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("experiment %d = %q, want %q", i, got[i].ID, id)
+		}
+		if got[i].Title == "" || got[i].Paper == "" {
+			t.Errorf("%s: missing title or paper expectation", id)
+		}
+	}
+}
+
+func TestGetExperiment(t *testing.T) {
+	e, err := Get("fig-speedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig-speedup" {
+		t.Fatalf("got %q", e.ID)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestStaticExperiments(t *testing.T) {
+	// Static (no-simulation) experiments run instantly and must render
+	// non-empty tables.
+	for _, id := range []string{"table1-config", "table2-benchmarks", "fig-limiter", "table-hw"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := e.Run(DefaultParams(), &sb); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(sb.String()) < 100 {
+			t.Errorf("%s: suspiciously short output:\n%s", id, sb.String())
+		}
+	}
+}
+
+func TestTable2ReportsMajorityScheduling(t *testing.T) {
+	e, _ := Get("table2-benchmarks")
+	var sb strings.Builder
+	if err := e.Run(DefaultParams(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "scheduling-limited") {
+		t.Fatalf("missing summary note:\n%s", out)
+	}
+	if !strings.Contains(out, "of 22 workloads") {
+		t.Fatalf("expected the suite summary note:\n%s", out)
+	}
+}
+
+func TestSpeedupExperimentDiluted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, _ := Get("fig-speedup")
+	var sb strings.Builder
+	if err := e.Run(testParams(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"vecadd", "lud", "nw", "average speedup"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestSwapTableDiluted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, _ := Get("table-swap")
+	var sb strings.Builder
+	if err := e.Run(testParams(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "swaps-out") {
+		t.Fatalf("bad output:\n%s", sb.String())
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	p := testParams()
+	_, err := runMany(p, []job{{workload: "does-not-exist", variant: "x"}})
+	if err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+// TestRunAllDiluted executes every experiment end-to-end on heavily
+// diluted grids: the full reproduction pipeline in one test.
+func TestRunAllDiluted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	p := Params{Scale: 1, Config: config.GTX480(), Dilute: 60}
+	var sb strings.Builder
+	if err := RunAll(p, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, e := range Experiments() {
+		if !strings.Contains(out, "### "+e.ID) {
+			t.Errorf("output missing experiment %s", e.ID)
+		}
+	}
+	if !strings.Contains(out, "average speedup") {
+		t.Error("missing headline summary")
+	}
+}

@@ -1,0 +1,70 @@
+// Package mem implements the GPU memory system: the functional backing
+// store that holds global-memory contents, the per-warp access coalescer,
+// L1 data caches with MSHR-based miss handling, and banked L2/DRAM memory
+// partitions with latency and bandwidth modeling. Timing is event-driven:
+// the load-store units hand coalesced line transactions to System, which
+// calls back when the data returns.
+package mem
+
+import "math"
+
+// Backing is the functional contents of global memory. It is word-granular
+// and lazily populated: a word never stored reads as a deterministic
+// pseudo-random value derived from its address, so data-dependent kernels
+// have stable inputs without preloading gigabytes. Hosts preinitialize
+// structured inputs (graphs, matrices) with the store helpers.
+type Backing struct {
+	words map[uint32]uint32
+}
+
+// NewBacking returns an empty backing store.
+func NewBacking() *Backing {
+	return &Backing{words: make(map[uint32]uint32)}
+}
+
+// synthWord derives the default contents of an untouched word index.
+func synthWord(widx uint32) uint32 {
+	x := widx*2654435761 + 0x9E3779B9
+	x ^= x >> 16
+	x *= 0x85EBCA6B
+	x ^= x >> 13
+	return x
+}
+
+// LoadWord returns the 32-bit word containing the byte address (which is
+// aligned down to a word boundary).
+func (b *Backing) LoadWord(addr uint32) uint32 {
+	w := addr >> 2
+	if v, ok := b.words[w]; ok {
+		return v
+	}
+	return synthWord(w)
+}
+
+// StoreWord writes the 32-bit word containing the byte address.
+func (b *Backing) StoreWord(addr, v uint32) {
+	b.words[addr>>2] = v
+}
+
+// WriteWords stores a contiguous slice of words starting at base.
+func (b *Backing) WriteWords(base uint32, vals []uint32) {
+	for i, v := range vals {
+		b.StoreWord(base+uint32(i)*4, v)
+	}
+}
+
+// WriteFloats stores float32 values as their IEEE bits starting at base.
+func (b *Backing) WriteFloats(base uint32, vals []float32) {
+	for i, v := range vals {
+		b.StoreWord(base+uint32(i)*4, math.Float32bits(v))
+	}
+}
+
+// LoadFloat reads a float32 from the byte address.
+func (b *Backing) LoadFloat(addr uint32) float32 {
+	return math.Float32frombits(b.LoadWord(addr))
+}
+
+// TouchedWords returns how many words have been explicitly stored; used by
+// tests to bound memory growth.
+func (b *Backing) TouchedWords() int { return len(b.words) }

@@ -1,0 +1,139 @@
+package mem
+
+// TagArray is a set-associative cache tag store with true-LRU replacement.
+// It tracks presence only; data motion is functional (the backing store)
+// and timing is handled by the callers.
+type TagArray struct {
+	sets     int
+	ways     int
+	lineBits uint
+	lines    []uint32 // line address per way, lineValid parallel
+	valid    []bool
+	lru      []int64 // last-touch stamp per way
+	stamp    int64
+}
+
+// NewTagArray builds a tag array with the given geometry. lineSize must be
+// a power of two.
+func NewTagArray(sets, ways, lineSize int) *TagArray {
+	bits := uint(0)
+	for 1<<bits < lineSize {
+		bits++
+	}
+	n := sets * ways
+	return &TagArray{
+		sets:     sets,
+		ways:     ways,
+		lineBits: bits,
+		lines:    make([]uint32, n),
+		valid:    make([]bool, n),
+		lru:      make([]int64, n),
+	}
+}
+
+func (t *TagArray) setOf(lineAddr uint32) int {
+	return int((lineAddr >> t.lineBits) % uint32(t.sets))
+}
+
+// Probe reports whether the line is present, updating LRU on hit.
+func (t *TagArray) Probe(lineAddr uint32) bool {
+	base := t.setOf(lineAddr) * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.valid[base+w] && t.lines[base+w] == lineAddr {
+			t.stamp++
+			t.lru[base+w] = t.stamp
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the line, evicting the LRU way of its set if needed, and
+// returns the evicted line address (ok=false when an invalid way was used
+// or the line was already present).
+func (t *TagArray) Fill(lineAddr uint32) (evicted uint32, ok bool) {
+	base := t.setOf(lineAddr) * t.ways
+	victim := base
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.lines[i] == lineAddr {
+			t.stamp++
+			t.lru[i] = t.stamp
+			return 0, false // already present
+		}
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	evicted, ok = t.lines[victim], t.valid[victim]
+	t.stamp++
+	t.lines[victim] = lineAddr
+	t.valid[victim] = true
+	t.lru[victim] = t.stamp
+	return evicted, ok
+}
+
+// Invalidate removes the line if present (write-evict policy) and reports
+// whether it was present.
+func (t *TagArray) Invalidate(lineAddr uint32) bool {
+	base := t.setOf(lineAddr) * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.valid[base+w] && t.lines[base+w] == lineAddr {
+			t.valid[base+w] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines; used by tests.
+func (t *TagArray) Occupancy() int {
+	n := 0
+	for _, v := range t.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// mshrTable tracks outstanding misses by line address, merging secondary
+// misses into the primary's callback list.
+type mshrTable struct {
+	max     int
+	pending map[uint32][]func()
+}
+
+func newMSHRTable(max int) *mshrTable {
+	return &mshrTable{max: max, pending: make(map[uint32][]func())}
+}
+
+// add registers a callback for the line. It returns primary=true when this
+// is the first outstanding miss for the line (the caller must send the
+// request downstream), and full=true when a new entry was needed but the
+// table is at capacity (the caller must retry later).
+func (m *mshrTable) add(lineAddr uint32, done func()) (primary, full bool) {
+	if cbs, ok := m.pending[lineAddr]; ok {
+		m.pending[lineAddr] = append(cbs, done)
+		return false, false
+	}
+	if m.max > 0 && len(m.pending) >= m.max {
+		return false, true
+	}
+	m.pending[lineAddr] = []func(){done}
+	return true, false
+}
+
+// complete removes the line's entry and returns its callbacks.
+func (m *mshrTable) complete(lineAddr uint32) []func() {
+	cbs := m.pending[lineAddr]
+	delete(m.pending, lineAddr)
+	return cbs
+}
+
+// size returns the number of outstanding distinct misses.
+func (m *mshrTable) size() int { return len(m.pending) }

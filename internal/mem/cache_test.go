@@ -1,0 +1,150 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagArrayBasics(t *testing.T) {
+	ta := NewTagArray(2, 2, 128) // 4 lines total
+	if ta.Probe(0) {
+		t.Fatal("empty cache must miss")
+	}
+	ta.Fill(0)
+	if !ta.Probe(0) {
+		t.Fatal("filled line must hit")
+	}
+	if ta.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d", ta.Occupancy())
+	}
+}
+
+func TestTagArrayLRUEviction(t *testing.T) {
+	ta := NewTagArray(1, 2, 128) // one set, 2 ways
+	ta.Fill(0 * 128)
+	ta.Fill(1 * 128)
+	ta.Probe(0 * 128) // touch line 0: line 1 is now LRU
+	ev, ok := ta.Fill(2 * 128)
+	if !ok || ev != 1*128 {
+		t.Fatalf("evicted %d (ok=%v), want line 1*128", ev, ok)
+	}
+	if !ta.Probe(0*128) || ta.Probe(1*128) || !ta.Probe(2*128) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestTagArrayFillPresentIsNoop(t *testing.T) {
+	ta := NewTagArray(1, 2, 128)
+	ta.Fill(0)
+	if _, ok := ta.Fill(0); ok {
+		t.Fatal("refilling a present line must not evict")
+	}
+	if ta.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", ta.Occupancy())
+	}
+}
+
+func TestTagArraySetMapping(t *testing.T) {
+	ta := NewTagArray(4, 1, 128)
+	// Lines 0 and 4 map to set 0; lines 1..3 to other sets.
+	ta.Fill(0 * 128)
+	ta.Fill(1 * 128)
+	ta.Fill(4 * 128) // evicts line 0, not line 1
+	if ta.Probe(0 * 128) {
+		t.Fatal("line 0 should have been evicted by its set conflict")
+	}
+	if !ta.Probe(1 * 128) {
+		t.Fatal("line 1 in a different set must survive")
+	}
+}
+
+func TestTagArrayInvalidate(t *testing.T) {
+	ta := NewTagArray(2, 2, 128)
+	ta.Fill(256)
+	if !ta.Invalidate(256) {
+		t.Fatal("invalidate of present line must report true")
+	}
+	if ta.Probe(256) {
+		t.Fatal("invalidated line must miss")
+	}
+	if ta.Invalidate(256) {
+		t.Fatal("invalidate of absent line must report false")
+	}
+}
+
+func TestMSHRMergeAndLimit(t *testing.T) {
+	m := newMSHRTable(2)
+	ran := 0
+	p, full := m.add(0x100, func() { ran++ })
+	if !p || full {
+		t.Fatal("first miss must be primary")
+	}
+	p, full = m.add(0x100, func() { ran++ })
+	if p || full {
+		t.Fatal("second miss to same line must merge")
+	}
+	p, full = m.add(0x200, func() { ran++ })
+	if !p || full {
+		t.Fatal("different line must get a new entry")
+	}
+	_, full = m.add(0x300, func() { ran++ })
+	if !full {
+		t.Fatal("third distinct line must be rejected at capacity 2")
+	}
+	cbs := m.complete(0x100)
+	if len(cbs) != 2 {
+		t.Fatalf("merged callbacks = %d, want 2", len(cbs))
+	}
+	for _, cb := range cbs {
+		cb()
+	}
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if m.size() != 1 {
+		t.Fatalf("size = %d, want 1", m.size())
+	}
+	// Freed capacity admits a new line.
+	if p, full := m.add(0x300, func() {}); !p || full {
+		t.Fatal("freed MSHR must admit a new line")
+	}
+}
+
+func TestMSHRUnbounded(t *testing.T) {
+	m := newMSHRTable(0)
+	for i := 0; i < 1000; i++ {
+		if _, full := m.add(uint32(i*128), func() {}); full {
+			t.Fatal("unbounded table must never be full")
+		}
+	}
+}
+
+// Property: a tag array never exceeds its capacity, and a line just filled
+// always probes as a hit.
+func TestTagArrayProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sets := 1 << rng.Intn(4)
+		ways := 1 + rng.Intn(4)
+		ta := NewTagArray(sets, ways, 128)
+		for i := 0; i < 200; i++ {
+			line := uint32(rng.Intn(64)) * 128
+			if rng.Intn(2) == 0 {
+				ta.Fill(line)
+				if !ta.Probe(line) {
+					return false
+				}
+			} else {
+				ta.Probe(line)
+			}
+			if ta.Occupancy() > sets*ways {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package mem
+
+import "repro/internal/simt"
+
+// CoalesceLines computes the distinct memory lines touched by the active
+// lanes of a warp access, in first-touch order. addrs holds the per-lane
+// byte addresses (indexed by lane); lineSize must be a power of two. This
+// models the hardware coalescer: one transaction per distinct line segment.
+func CoalesceLines(addrs []uint32, active simt.Mask, lineSize int) []uint32 {
+	mask := ^uint32(lineSize - 1)
+	var lines []uint32
+	for lane := 0; lane < len(addrs); lane++ {
+		if !active.Has(lane) {
+			continue
+		}
+		la := addrs[lane] & mask
+		seen := false
+		for _, l := range lines {
+			if l == la {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			lines = append(lines, la)
+		}
+	}
+	return lines
+}
+
+// BankConflictFactor returns the shared-memory serialization factor for a
+// warp access: the maximum number of active lanes whose word addresses fall
+// in the same bank, with same-address lanes counted once (broadcast).
+// numBanks must be a power of two. A conflict-free access returns 1; an
+// access by zero lanes returns 0.
+func BankConflictFactor(addrs []uint32, active simt.Mask, numBanks int) int {
+	if numBanks <= 0 {
+		return 1
+	}
+	banks := make(map[uint32][]uint32, numBanks)
+	max := 0
+	any := false
+	for lane := 0; lane < len(addrs); lane++ {
+		if !active.Has(lane) {
+			continue
+		}
+		any = true
+		word := addrs[lane] >> 2
+		bank := word & uint32(numBanks-1)
+		dup := false
+		for _, a := range banks[bank] {
+			if a == word {
+				dup = true // broadcast: same word in same bank is free
+				break
+			}
+		}
+		if !dup {
+			banks[bank] = append(banks[bank], word)
+			if len(banks[bank]) > max {
+				max = len(banks[bank])
+			}
+		}
+	}
+	if !any {
+		return 0
+	}
+	if max == 0 {
+		return 1
+	}
+	return max
+}

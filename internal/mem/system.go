@@ -1,0 +1,352 @@
+package mem
+
+import (
+	"repro/internal/config"
+	"repro/internal/event"
+)
+
+// Stats aggregates memory-system counters for one simulation.
+type Stats struct {
+	L1Accesses    int64 // coalesced transactions presented to an L1
+	L1Hits        int64
+	L1MSHRMerges  int64 // secondary misses merged into an in-flight line
+	L1Rejects     int64 // transactions rejected because L1 MSHRs were full
+	L2Accesses    int64
+	L2Hits        int64
+	DRAMReads     int64 // line fills from DRAM
+	DRAMWrites    int64 // line writes to DRAM
+	DRAMBusy      int64 // cycles any partition's DRAM data bus was busy
+	DRAMRowHits   int64 // accesses hitting an open row (bank model only)
+	DRAMRowMisses int64 // accesses paying precharge+activate (bank model only)
+}
+
+// RowHitRate returns row-buffer hits / accesses under the bank model, or 0
+// when the flat channel model is in use.
+func (s *Stats) RowHitRate() float64 {
+	total := s.DRAMRowHits + s.DRAMRowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DRAMRowHits) / float64(total)
+}
+
+// L1HitRate returns hits / accesses, or 0 when idle.
+func (s *Stats) L1HitRate() float64 {
+	if s.L1Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Hits) / float64(s.L1Accesses)
+}
+
+// L2HitRate returns hits / accesses, or 0 when idle.
+func (s *Stats) L2HitRate() float64 {
+	if s.L2Accesses == 0 {
+		return 0
+	}
+	return float64(s.L2Hits) / float64(s.L2Accesses)
+}
+
+// System is the timing model of the global-memory path: per-SM L1 caches in
+// front of address-interleaved memory partitions, each with an L2 slice and
+// a DRAM channel. All latencies are in core cycles. Loads call done when
+// their line arrives at the SM; stores are fire-and-forget but consume
+// bandwidth.
+type System struct {
+	cfg      *config.GPUConfig
+	ev       *event.Queue
+	l1s      []*l1Cache
+	parts    []*partition
+	lineBits uint // log2 of the partition interleave granularity
+
+	// Stats holds the memory counters; read after the simulation.
+	Stats Stats
+}
+
+// NewSystem builds the memory system for the configuration.
+func NewSystem(cfg *config.GPUConfig, ev *event.Queue) *System {
+	s := &System{cfg: cfg, ev: ev}
+	for 1<<s.lineBits < cfg.L2.LineSize {
+		s.lineBits++
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		s.l1s = append(s.l1s, newL1(cfg, s))
+	}
+	for i := 0; i < cfg.NumMemPartitions; i++ {
+		s.parts = append(s.parts, newPartition(cfg, s))
+	}
+	return s
+}
+
+// AccessGlobal presents one coalesced line transaction from an SM. done
+// must be non-nil for reads and nil for writes. It reports false when the
+// transaction was rejected (L1 MSHRs full) and must be retried.
+func (s *System) AccessGlobal(sm int, lineAddr uint32, write bool, done func()) bool {
+	return s.l1s[sm].access(lineAddr, write, done)
+}
+
+// OutstandingMisses returns the number of distinct lines in flight for an
+// SM's L1; used by tests and the occupancy report.
+func (s *System) OutstandingMisses(sm int) int { return s.l1s[sm].mshr.size() }
+
+func (s *System) partitionOf(lineAddr uint32) *partition {
+	idx := (lineAddr >> s.lineBits) % uint32(len(s.parts)) // line-interleaved
+	return s.parts[idx]
+}
+
+// l1Cache is one SM's private L1 data cache: write-through, write-evict
+// (no write-allocate), with MSHR merging, as in Fermi.
+type l1Cache struct {
+	sys  *System
+	cfg  config.CacheConfig
+	tags *TagArray
+	mshr *mshrTable
+}
+
+func newL1(cfg *config.GPUConfig, sys *System) *l1Cache {
+	c := &l1Cache{sys: sys, cfg: cfg.L1D, mshr: newMSHRTable(cfg.L1D.MSHRs)}
+	if cfg.L1D.Enabled {
+		c.tags = NewTagArray(cfg.L1D.Sets, cfg.L1D.Ways, cfg.L1D.LineSize)
+	}
+	return c
+}
+
+func (c *l1Cache) access(lineAddr uint32, write bool, done func()) bool {
+	sys := c.sys
+	ev := sys.ev
+	if write {
+		sys.Stats.L1Accesses++
+		if c.tags != nil {
+			c.tags.Invalidate(lineAddr) // write-evict
+		}
+		// Write-through: consume the downstream path; nothing waits.
+		part := sys.partitionOf(lineAddr)
+		ev.After(int64(sys.cfg.InterconnectDelay), func() {
+			part.access(lineAddr, true, nil)
+		})
+		return true
+	}
+
+	sys.Stats.L1Accesses++
+	if c.tags != nil && c.tags.Probe(lineAddr) {
+		sys.Stats.L1Hits++
+		ev.After(int64(c.cfg.Latency), done)
+		return true
+	}
+	primary, full := c.mshr.add(lineAddr, done)
+	if full {
+		sys.Stats.L1Rejects++
+		sys.Stats.L1Accesses-- // rejected transactions retry; count once
+		return false
+	}
+	if !primary {
+		sys.Stats.L1MSHRMerges++
+		return true
+	}
+	part := sys.partitionOf(lineAddr)
+	ev.After(int64(sys.cfg.InterconnectDelay), func() {
+		part.access(lineAddr, false, func() {
+			// Response arrives back at the SM after the return trip.
+			ev.After(int64(sys.cfg.InterconnectDelay), func() {
+				if c.tags != nil {
+					c.tags.Fill(lineAddr)
+				}
+				for _, cb := range c.mshr.complete(lineAddr) {
+					cb()
+				}
+			})
+		})
+	})
+	return true
+}
+
+// dramReq is one line transaction queued at a partition's DRAM controller.
+type dramReq struct {
+	line   uint32
+	write  bool
+	onDone func() // called when the data is available; nil for writes
+}
+
+// partition is one memory partition: an L2 slice with MSHR merging in
+// front of an FR-FCFS DRAM controller. The controller queues transactions
+// and each bus slot serves, among requests whose bank is free, the oldest
+// row-buffer hit — falling back to the oldest request — which is what lets
+// high thread-level parallelism coexist with row locality on real GPUs.
+type partition struct {
+	sys      *System
+	cfg      *config.GPUConfig
+	tags     *TagArray
+	mshr     *mshrTable
+	l2Free   int64 // next cycle the L2 port is free
+	dramFree int64 // next cycle the DRAM data bus is free
+
+	queue    []dramReq
+	bankFree []int64  // next cycle each bank can start a new access
+	openRow  []uint32 // currently open row per bank (+1; 0 = none)
+	rowBits  uint     // log2(DRAMRowBytes)
+	pumpAt   int64    // cycle of the furthest scheduled pump, -1 if none
+}
+
+func newPartition(cfg *config.GPUConfig, sys *System) *partition {
+	p := &partition{sys: sys, cfg: cfg, pumpAt: -1}
+	if cfg.L2.Enabled {
+		p.tags = NewTagArray(cfg.L2.Sets, cfg.L2.Ways, cfg.L2.LineSize)
+	}
+	p.mshr = newMSHRTable(0) // partition MSHRs: merged, unbounded (see DESIGN)
+	banks := cfg.DRAMBanks
+	if banks <= 0 {
+		banks = 1 // flat model: one bank, no row penalty
+	}
+	p.bankFree = make([]int64, banks)
+	p.openRow = make([]uint32, banks)
+	rowBytes := cfg.DRAMRowBytes
+	if rowBytes <= 0 {
+		rowBytes = 2048
+	}
+	for 1<<p.rowBits < rowBytes {
+		p.rowBits++
+	}
+	return p
+}
+
+func (p *partition) rowPenalty() int64 {
+	if p.cfg.DRAMBanks <= 0 {
+		return 0
+	}
+	return int64(p.cfg.DRAMRowPenalty)
+}
+
+// access handles one transaction arriving at the partition. respond (reads
+// only) is called when the line is available at the partition's port.
+func (p *partition) access(lineAddr uint32, write bool, respond func()) {
+	sys := p.sys
+	now := sys.ev.Now()
+
+	// One L2 port access per cycle.
+	start := now
+	if p.l2Free > start {
+		start = p.l2Free
+	}
+	p.l2Free = start + 1
+
+	if write {
+		sys.Stats.L2Accesses++
+		// Write-through, no-allocate at L2 as well: the write occupies
+		// the DRAM channel but nothing waits for it.
+		sys.ev.At(start+int64(p.cfg.L2.Latency), func() {
+			p.enqueueDRAM(lineAddr, true, nil)
+		})
+		return
+	}
+
+	sys.Stats.L2Accesses++
+	if p.tags != nil && p.tags.Probe(lineAddr) {
+		sys.Stats.L2Hits++
+		sys.ev.At(start+int64(p.cfg.L2.Latency), respond)
+		return
+	}
+	primary, _ := p.mshr.add(lineAddr, respond)
+	if !primary {
+		return
+	}
+	sys.ev.At(start+int64(p.cfg.L2.Latency), func() {
+		p.enqueueDRAM(lineAddr, false, func() {
+			if p.tags != nil {
+				p.tags.Fill(lineAddr)
+			}
+			for _, cb := range p.mshr.complete(lineAddr) {
+				cb()
+			}
+		})
+	})
+}
+
+// enqueueDRAM adds a transaction to the FR-FCFS controller queue.
+func (p *partition) enqueueDRAM(line uint32, write bool, onDone func()) {
+	if write {
+		p.sys.Stats.DRAMWrites++
+	} else {
+		p.sys.Stats.DRAMReads++
+	}
+	p.queue = append(p.queue, dramReq{line: line, write: write, onDone: onDone})
+	p.pump()
+}
+
+// schedulePump arranges for the controller to reconsider the queue at
+// cycle t (deduplicating same-cycle schedules).
+func (p *partition) schedulePump(t int64) {
+	if t <= p.sys.ev.Now() || t == p.pumpAt {
+		return
+	}
+	p.pumpAt = t
+	p.sys.ev.At(t, func() {
+		if p.pumpAt == p.sys.ev.Now() {
+			p.pumpAt = -1
+		}
+		p.pump()
+	})
+}
+
+// pump issues at most one transaction per data-bus slot using FR-FCFS
+// arbitration: among requests whose bank is available, the oldest
+// row-buffer hit wins, else the oldest request. A row miss occupies its
+// bank for the precharge+activate penalty but releases the data bus after
+// the burst, so activations in other banks overlap transfers.
+func (p *partition) pump() {
+	now := p.sys.ev.Now()
+	if len(p.queue) == 0 {
+		return
+	}
+	if now < p.dramFree {
+		p.schedulePump(p.dramFree)
+		return
+	}
+
+	best := -1
+	bestHit := false
+	var minBankFree int64 = -1
+	for i, r := range p.queue {
+		bank := int(r.line>>p.rowBits) % len(p.bankFree)
+		if p.bankFree[bank] > now {
+			if minBankFree < 0 || p.bankFree[bank] < minBankFree {
+				minBankFree = p.bankFree[bank]
+			}
+			continue
+		}
+		hit := p.openRow[bank] == r.line>>p.rowBits+1
+		if hit {
+			best, bestHit = i, true
+			break // oldest row hit wins
+		}
+		if best < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		if minBankFree > now {
+			p.schedulePump(minBankFree)
+		}
+		return
+	}
+
+	r := p.queue[best]
+	p.queue = append(p.queue[:best], p.queue[best+1:]...)
+	st := &p.sys.Stats
+	bank := int(r.line>>p.rowBits) % len(p.bankFree)
+	svc := int64(p.cfg.DRAMServiceCycles)
+	if p.cfg.DRAMBanks > 0 {
+		if bestHit {
+			st.DRAMRowHits++
+		} else {
+			svc += p.rowPenalty()
+			p.openRow[bank] = r.line>>p.rowBits + 1
+			st.DRAMRowMisses++
+		}
+	}
+	p.bankFree[bank] = now + svc
+	p.dramFree = now + int64(p.cfg.DRAMServiceCycles)
+	st.DRAMBusy += int64(p.cfg.DRAMServiceCycles)
+	if r.onDone != nil {
+		p.sys.ev.At(now+svc+int64(p.cfg.DRAMLatency), r.onDone)
+	}
+	p.schedulePump(p.dramFree)
+}

@@ -1,0 +1,461 @@
+package sm
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/warp"
+)
+
+// scheduler is one warp scheduler: it owns the warp slots whose index is
+// congruent to its id modulo the scheduler count, and issues at most one
+// instruction per cycle from them.
+type scheduler struct {
+	sm     *SM
+	id     int
+	greedy *warp.Warp // GTO: the warp currently being issued greedily
+	rrNext int        // LRR: next owned-slot offset to consider
+
+	busyUntil int64 // register-file bank-conflict stall (RegFileBanks > 0)
+
+	group   []*warp.Warp // two-level: active fetch group
+	groupRR int          // two-level: round-robin cursor within the group
+}
+
+func newScheduler(s *SM, id int) *scheduler {
+	return &scheduler{sm: s, id: id}
+}
+
+// owns reports whether the scheduler serves the slot index.
+func (sc *scheduler) owns(slot int) bool {
+	return slot%len(sc.sm.schedulers) == sc.id
+}
+
+// schedulable reports whether the warp can issue this cycle, and when it
+// cannot, classifies the impediment for the stall breakdown.
+func (sc *scheduler) schedulable(w *warp.Warp) (ok bool, blocked warp.Blocked, structural bool) {
+	s := sc.sm
+	if w.Finished || w.CTA.State != warp.CTAActive {
+		return false, warp.BlockedDone, false
+	}
+	if w.AtBarrier {
+		return false, warp.BlockedBarrier, false
+	}
+	code := w.CTA.Launch.Kernel.Code
+	pc, _, okc := w.Stack.Current()
+	if !okc {
+		return false, warp.BlockedDone, false
+	}
+	in := &code[pc]
+	conflict, onLoad := w.SB.Conflicts(in, s.srcBuf)
+	if conflict {
+		if onLoad {
+			return false, warp.BlockedMem, false
+		}
+		return false, warp.BlockedALU, false
+	}
+	// Structural hazards.
+	now := s.Ev.Now()
+	switch in.Op.Unit() {
+	case isa.UnitSFU:
+		if now < s.sfuFreeAt {
+			return false, warp.BlockedNot, true
+		}
+	case isa.UnitMem:
+		if in.Op.IsGlobal() {
+			if !s.lsuHasRoom() {
+				return false, warp.BlockedNot, true
+			}
+		} else if now < s.smemFreeAt {
+			return false, warp.BlockedNot, true
+		}
+	}
+	return true, warp.BlockedNot, false
+}
+
+// older reports whether a should be prioritized over b under
+// oldest-first ordering: earlier CTA assignment, then CTA id, then warp id.
+func older(a, b *warp.Warp) bool {
+	if a.CTA.AssignedAt != b.CTA.AssignedAt {
+		return a.CTA.AssignedAt < b.CTA.AssignedAt
+	}
+	if a.CTA.FlatID != b.CTA.FlatID {
+		return a.CTA.FlatID < b.CTA.FlatID
+	}
+	return a.IdxInCTA < b.IdxInCTA
+}
+
+// classifyStall records one stall sample for this scheduler based on the
+// current warp states, weighted by n cycles. Used both for a no-issue
+// cycle (n=1) and for cycles the engine fast-forwards across (the SM is
+// quiescent, so the classification is constant over the skipped span).
+func (sc *scheduler) classifyStall(n int64) {
+	s := sc.sm
+	var sawMem, sawALU, sawBar, sawStruct, sawAny bool
+	for slot := sc.id; slot < len(s.Slots); slot += len(s.schedulers) {
+		w := s.Slots[slot]
+		if w == nil {
+			continue
+		}
+		_, blocked, structural := sc.schedulable(w)
+		if blocked != warp.BlockedDone {
+			sawAny = true
+		}
+		switch {
+		case structural:
+			sawStruct = true
+		case blocked == warp.BlockedMem:
+			sawMem = true
+		case blocked == warp.BlockedALU:
+			sawALU = true
+		case blocked == warp.BlockedBarrier:
+			sawBar = true
+		}
+	}
+	st := &s.Stats
+	switch {
+	case !sawAny:
+		st.SlotIdle += n
+	case sawStruct:
+		st.SlotStallStr += n
+	case sawMem:
+		st.SlotStallMem += n
+	case sawBar:
+		st.SlotStallBar += n
+	case sawALU:
+		st.SlotStallALU += n
+	default:
+		st.SlotIdle += n
+	}
+}
+
+// issueOne tries to issue one instruction from this scheduler's warps and
+// updates the stall breakdown. Returns true on issue.
+func (sc *scheduler) issueOne() bool {
+	s := sc.sm
+	if s.Ev.Now() < sc.busyUntil {
+		// Register-file bank conflict from a previous issue occupies the
+		// operand-read ports.
+		s.Stats.SlotStallStr++
+		return false
+	}
+	var pick *warp.Warp
+	var sawMem, sawALU, sawBar, sawStruct, sawAny bool
+
+	consider := func(w *warp.Warp) {
+		ok, blocked, structural := sc.schedulable(w)
+		if blocked != warp.BlockedDone {
+			sawAny = true
+		}
+		if ok {
+			if pick == nil || older(w, pick) {
+				pick = w
+			}
+			return
+		}
+		switch {
+		case structural:
+			sawStruct = true
+		case blocked == warp.BlockedMem:
+			sawMem = true
+		case blocked == warp.BlockedALU:
+			sawALU = true
+		case blocked == warp.BlockedBarrier:
+			sawBar = true
+		}
+	}
+
+	if s.Cfg.Scheduler == config.SchedGTO && sc.greedy != nil {
+		// Greedy warp keeps priority while it can issue.
+		if ok, _, _ := sc.schedulable(sc.greedy); ok {
+			sc.issue(sc.greedy)
+			s.Stats.SlotIssued++
+			return true
+		}
+	}
+
+	for slot := sc.id; slot < len(s.Slots); slot += len(s.schedulers) {
+		w := s.Slots[slot]
+		if w == nil {
+			continue
+		}
+		consider(w)
+	}
+
+	if pick != nil {
+		switch s.Cfg.Scheduler {
+		case config.SchedLRR:
+			// Loose round-robin: rotate priority among ready warps.
+			pick = sc.lrrPick()
+		case config.SchedTwoLevel:
+			if g := sc.twoLevelPick(); g != nil {
+				pick = g
+			}
+		}
+		sc.greedy = pick
+		sc.issue(pick)
+		s.Stats.SlotIssued++
+		return true
+	}
+
+	sc.greedy = nil
+	st := &s.Stats
+	switch {
+	case !sawAny:
+		st.SlotIdle++
+	case sawStruct:
+		st.SlotStallStr++
+	case sawMem:
+		st.SlotStallMem++
+	case sawBar:
+		st.SlotStallBar++
+	case sawALU:
+		st.SlotStallALU++
+	default:
+		st.SlotIdle++
+	}
+	return false
+}
+
+// AccountSkipped charges n fast-forwarded cycles to the SM's statistics:
+// stall-slot samples per scheduler and the occupancy accumulators. The
+// engine only skips cycles when the SM is quiescent, so the classification
+// is the same for every skipped cycle.
+func (s *SM) AccountSkipped(n int64) {
+	s.Stats.Cycles += n
+	for _, sc := range s.schedulers {
+		sc.classifyStall(n)
+	}
+	st := &s.Stats
+	st.ActiveWarpAccum += n * int64(s.WarpsUsed)
+	st.ActiveCTAAccum += n * int64(s.ActiveCTAs)
+	st.ResidentCTAAccum += n * int64(len(s.Resident))
+	rw := 0
+	for _, c := range s.Resident {
+		rw += len(c.Warps)
+	}
+	st.ResidentWarpAccum += n * int64(rw)
+}
+
+// lrrPick scans owned slots starting after the previous issue point and
+// returns the first schedulable warp.
+func (sc *scheduler) lrrPick() *warp.Warp {
+	s := sc.sm
+	n := len(s.Slots)
+	step := len(s.schedulers)
+	owned := (n + step - 1 - sc.id) / step
+	for i := 1; i <= owned; i++ {
+		slot := sc.id + ((sc.rrNext + i) % owned * step)
+		w := s.Slots[slot]
+		if w == nil {
+			continue
+		}
+		if ok, _, _ := sc.schedulable(w); ok {
+			sc.rrNext = (sc.rrNext + i) % owned
+			return w
+		}
+	}
+	return nil
+}
+
+// twoLevelPick maintains the scheduler's active fetch group — up to
+// FetchGroupWarps warps that are not blocked on long-latency memory — and
+// round-robins within it. Warps that hit a long stall leave the group and
+// pending warps take their place, so only a small subset needs operand
+// buffering each cycle. Returns nil when no group member can issue (the
+// caller falls back to a group switch).
+func (sc *scheduler) twoLevelPick() *warp.Warp {
+	s := sc.sm
+	size := s.Cfg.FetchGroupWarps
+	if size <= 0 {
+		size = 8
+	}
+
+	// Evict group members that left the SM, finished, or hit a long
+	// memory stall.
+	kept := sc.group[:0]
+	for _, w := range sc.group {
+		if w.Finished || w.CTA.State != warp.CTAActive {
+			continue
+		}
+		if w.BlockedState(w.CTA.Launch.Kernel.Code, s.srcBuf) == warp.BlockedMem {
+			continue
+		}
+		kept = append(kept, w)
+	}
+	sc.group = kept
+
+	// Refill from owned slots, oldest first.
+	if len(sc.group) < size {
+		inGroup := func(w *warp.Warp) bool {
+			for _, g := range sc.group {
+				if g == w {
+					return true
+				}
+			}
+			return false
+		}
+		for slot := sc.id; slot < len(s.Slots) && len(sc.group) < size; slot += len(s.schedulers) {
+			w := s.Slots[slot]
+			if w == nil || w.Finished || w.CTA.State != warp.CTAActive || inGroup(w) {
+				continue
+			}
+			if w.BlockedState(w.CTA.Launch.Kernel.Code, s.srcBuf) == warp.BlockedMem {
+				continue
+			}
+			sc.group = append(sc.group, w)
+		}
+	}
+	if len(sc.group) == 0 {
+		return nil
+	}
+	for i := 1; i <= len(sc.group); i++ {
+		idx := (sc.groupRR + i) % len(sc.group)
+		if ok, _, _ := sc.schedulable(sc.group[idx]); ok {
+			sc.groupRR = idx
+			return sc.group[idx]
+		}
+	}
+	return nil
+}
+
+// rfBankStall charges the scheduler for register-file bank conflicts among
+// the instruction's source operands: one extra cycle per colliding read on
+// a single-ported banked file.
+func (sc *scheduler) rfBankStall(w *warp.Warp, in *isa.Instr) {
+	banks := sc.sm.Cfg.RegFileBanks
+	if banks <= 0 {
+		return
+	}
+	var counts [64]int
+	extra := 0
+	for _, r := range in.SrcRegs(sc.sm.srcBuf[:0]) {
+		b := int(r) % banks
+		counts[b]++
+		if counts[b] > 1 {
+			extra++
+		}
+	}
+	if extra > 0 {
+		// busyUntil is the first cycle the scheduler may issue again:
+		// the current issue plus `extra` dead operand-read cycles.
+		sc.busyUntil = sc.sm.Ev.Now() + int64(extra) + 1
+		sc.sm.Stats.RFBankConflictCyc += int64(extra)
+	}
+}
+
+// issue functionally executes the warp's next instruction and models its
+// timing on the appropriate unit.
+func (sc *scheduler) issue(w *warp.Warp) {
+	s := sc.sm
+	now := s.Ev.Now()
+	code := w.CTA.Launch.Kernel.Code
+	pc, _, _ := w.Stack.Current()
+	in := &code[pc]
+
+	sc.rfBankStall(w, in)
+	info := warp.Execute(w, in, s.Gmem, s.addrBuf)
+	w.LastIssue = now
+	w.IssuedInstrs++
+	w.ThreadInstrs += int64(info.Lanes)
+	s.Stats.Issued++
+	s.Stats.ThreadInstrs += int64(info.Lanes)
+	if k := w.CTA.KernelID; k < len(s.Stats.IssuedPerKernel) {
+		s.Stats.IssuedPerKernel[k]++
+	}
+
+	switch {
+	case info.IsExit:
+		if w.Finished {
+			c := w.CTA
+			c.Finished++
+			if c.Done() {
+				s.retire(c)
+			}
+		}
+	case info.IsBar:
+		sc.barrier(w)
+	case info.MemOp:
+		sc.memIssue(w, in, info)
+	default:
+		sc.aluIssue(w, in)
+	}
+}
+
+func (sc *scheduler) aluIssue(w *warp.Warp, in *isa.Instr) {
+	s := sc.sm
+	if !in.Op.HasDst() || in.Dst == isa.RZ {
+		return
+	}
+	var lat int64
+	switch in.Op.Unit() {
+	case isa.UnitSFU:
+		lat = int64(s.Cfg.SFULatency)
+		s.sfuFreeAt = s.Ev.Now() + int64(s.Cfg.SFUInitInterval)
+		s.Stats.SFUIssued++
+	default:
+		lat = int64(s.Cfg.ALULatency)
+	}
+	dst := in.Dst
+	w.SB.MarkPending(dst, false)
+	s.Ev.After(lat, func() { w.SB.ClearPending(dst) })
+}
+
+func (sc *scheduler) barrier(w *warp.Warp) {
+	s := sc.sm
+	c := w.CTA
+	w.AtBarrier = true
+	c.Arrived++
+	if c.BarrierReleased() {
+		for _, ww := range c.Warps {
+			ww.AtBarrier = false
+		}
+		c.Arrived = 0
+		s.Stats.BarrierReleases++
+	}
+}
+
+func (sc *scheduler) memIssue(w *warp.Warp, in *isa.Instr, info warp.ExecInfo) {
+	s := sc.sm
+	now := s.Ev.Now()
+	if !in.Op.IsGlobal() {
+		// Shared memory: serialization by bank-conflict factor.
+		s.Stats.SMemAccesses++
+		f := mem.BankConflictFactor(info.Addrs, info.Active, 32)
+		if f < 1 {
+			f = 1
+		}
+		s.smemFreeAt = now + int64(f)
+		s.Stats.SMemConflictCyc += int64(f - 1)
+		if in.Op.IsLoad() && in.Dst != isa.RZ {
+			dst := in.Dst
+			w.SB.MarkPending(dst, false)
+			s.Ev.After(int64(s.Cfg.SMemLatency+f-1), func() { w.SB.ClearPending(dst) })
+		}
+		return
+	}
+
+	lineSize := s.Cfg.L1D.LineSize
+	if !s.Cfg.L1D.Enabled {
+		lineSize = s.Cfg.L2.LineSize
+	}
+	lines := mem.CoalesceLines(info.Addrs, info.Active, lineSize)
+	if len(lines) == 0 {
+		return // no active lanes touched memory
+	}
+	s.Stats.GlobalTxns += int64(len(lines))
+	op := &lsuOp{
+		w:         w,
+		write:     in.Op.IsStore(),
+		lines:     lines,
+		remaining: len(lines),
+	}
+	if in.Op.IsLoad() || in.Op.IsAtomic() {
+		// Atomics wait for the round trip like loads (the old value —
+		// or at least the completion — comes back from the L2/ROP).
+		op.dst = in.Dst
+		w.SB.MarkPending(in.Dst, true)
+		w.OutstandingLoads++
+	}
+	s.lsuQueue = append(s.lsuQueue, op)
+}

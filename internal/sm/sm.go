@@ -1,0 +1,339 @@
+// Package sm implements the streaming multiprocessor pipeline: warp slots,
+// multiple warp schedulers (greedy-then-oldest, loose round-robin, or
+// two-level), scoreboard-checked issue, SP/SFU execution pipelines, a
+// load-store unit with coalescing and MSHR backpressure, shared-memory
+// bank-conflict serialization, optional register-file bank conflicts, and
+// CTA barriers. CTAs may come from multiple concurrent kernels; every CTA
+// carries its own resource footprint. Residency and activation decisions
+// are delegated to a Controller, which is where the baseline and Virtual
+// Thread policies differ.
+package sm
+
+import (
+	"repro/internal/config"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/warp"
+)
+
+// Controller is the CTA scheduling policy attached to an SM. The SM calls
+// Cycle before issuing each cycle so the policy can assign new CTAs,
+// activate ready ones, and (under VT) swap stalled ones out; it calls
+// CTARetired when a CTA's last warp exits and LoadsDrained when a CTA's
+// last outstanding global load returns.
+type Controller interface {
+	Cycle(s *SM)
+	CTARetired(s *SM, c *warp.CTA)
+	LoadsDrained(s *SM, c *warp.CTA)
+}
+
+// Stats collects per-SM pipeline counters.
+type Stats struct {
+	Cycles       int64
+	Issued       int64 // warp instructions issued
+	ThreadInstrs int64 // thread instructions (lanes x issues)
+
+	// Issue-slot stall breakdown: one sample per scheduler per cycle.
+	SlotIssued   int64
+	SlotStallMem int64 // every candidate blocked on a global-load dependence
+	SlotStallALU int64 // blocked on short-latency dependences
+	SlotStallBar int64 // blocked at barriers
+	SlotStallStr int64 // ready warp existed but its unit was busy
+	SlotIdle     int64 // no schedulable warp attached
+
+	// Occupancy accumulators (per cycle).
+	ActiveWarpAccum   int64 // warps bound to slots
+	ResidentWarpAccum int64 // warps of all resident CTAs (incl. inactive)
+	ActiveCTAAccum    int64
+	ResidentCTAAccum  int64
+
+	SFUIssued         int64 // warp instructions issued to the SFU
+	SMemAccesses      int64 // shared-memory warp accesses
+	CTAsCompleted     int64
+	BarrierReleases   int64
+	SMemConflictCyc   int64 // extra cycles lost to shared-memory bank conflicts
+	RFBankConflictCyc int64 // scheduler cycles lost to register-file bank conflicts
+	GlobalTxns        int64 // coalesced global transactions generated
+	LSURetries        int64 // transactions retried after L1 MSHR rejection
+
+	// IssuedPerKernel splits Issued by launch index in multi-kernel runs.
+	IssuedPerKernel []int64
+}
+
+// IPC returns issued warp instructions per cycle.
+func (st *Stats) IPC() float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return float64(st.Issued) / float64(st.Cycles)
+}
+
+// lsuOp is one in-flight warp memory instruction being streamed into the
+// memory system, one coalesced line per cycle.
+type lsuOp struct {
+	w         *warp.Warp
+	dst       isa.Reg
+	write     bool
+	lines     []uint32
+	next      int // next line to inject
+	remaining int // responses outstanding (reads)
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID   int
+	Cfg  *config.GPUConfig
+	Ev   *event.Queue
+	Mem  *mem.System
+	Gmem *mem.Backing
+
+	Ctl Controller
+
+	// Effective scheduling limits under the configured policy.
+	MaxCTAs    int
+	MaxWarps   int
+	MaxThreads int
+
+	Slots []*warp.Warp // warp slots; nil = free
+
+	// Resident CTAs: active and (under VT) inactive.
+	Resident    []*warp.CTA
+	ActiveCTAs  int
+	RegsUsed    int
+	SMemUsed    int
+	ThreadsUsed int // threads bound to slots (scheduling resource)
+	WarpsUsed   int // warp slots bound
+
+	schedulers []*scheduler
+	sfuFreeAt  int64
+	smemFreeAt int64
+	lsuQueue   []*lsuOp
+
+	Stats Stats
+
+	addrBuf []uint32
+	srcBuf  []isa.Reg
+}
+
+// New builds an SM under the configuration; numKernels sizes the
+// per-kernel issue counters (1 for single-launch runs). Slots and limits
+// are derived from the policy's effective scheduling limits.
+func New(id int, cfg *config.GPUConfig, ev *event.Queue, msys *mem.System,
+	gmem *mem.Backing, numKernels int, ctl Controller) *SM {
+
+	if numKernels < 1 {
+		numKernels = 1
+	}
+	maxCTAs, maxWarps, maxThreads := cfg.EffectiveSchedulingLimits()
+	s := &SM{
+		ID:         id,
+		Cfg:        cfg,
+		Ev:         ev,
+		Mem:        msys,
+		Gmem:       gmem,
+		Ctl:        ctl,
+		MaxCTAs:    maxCTAs,
+		MaxWarps:   maxWarps,
+		MaxThreads: maxThreads,
+		Slots:      make([]*warp.Warp, maxWarps),
+		addrBuf:    make([]uint32, cfg.WarpSize),
+		srcBuf:     make([]isa.Reg, 8),
+	}
+	s.Stats.IssuedPerKernel = make([]int64, numKernels)
+	for i := 0; i < cfg.NumSchedulers; i++ {
+		s.schedulers = append(s.schedulers, newScheduler(s, i))
+	}
+	return s
+}
+
+// HasCapacityFor reports whether a CTA needing the given registers and
+// shared memory fits on the SM — the capacity-limit check that Virtual
+// Thread admits against.
+func (s *SM) HasCapacityFor(regs, smem int) bool {
+	return s.RegsUsed+regs <= s.Cfg.RegFileSize &&
+		s.SMemUsed+smem <= s.Cfg.SharedMemPerSM
+}
+
+// CanActivateFor reports whether the scheduling structures can host one
+// more active CTA of the given shape (CTA slots, warp slots, thread
+// slots).
+func (s *SM) CanActivateFor(warps, threads int) bool {
+	return s.ActiveCTAs < s.MaxCTAs &&
+		s.WarpsUsed+warps <= s.MaxWarps &&
+		s.ThreadsUsed+threads <= s.MaxThreads
+}
+
+// CanActivateCTA reports whether the specific CTA can take warp slots now.
+func (s *SM) CanActivateCTA(c *warp.CTA) bool {
+	return s.CanActivateFor(len(c.Warps), c.Threads)
+}
+
+// AddResident makes the CTA resident, charging its capacity footprint.
+func (s *SM) AddResident(c *warp.CTA) {
+	c.AssignedAt = s.Ev.Now()
+	s.Resident = append(s.Resident, c)
+	s.RegsUsed += c.RegsAlloc
+	s.SMemUsed += c.SMemAlloc
+}
+
+// Activate binds the CTA's warps to free warp slots. The caller must have
+// checked CanActivate.
+func (s *SM) Activate(c *warp.CTA) {
+	slot := 0
+	for _, w := range c.Warps {
+		for s.Slots[slot] != nil {
+			slot++
+		}
+		s.Slots[slot] = w
+	}
+	s.WarpsUsed += len(c.Warps)
+	s.ThreadsUsed += c.Threads
+	s.ActiveCTAs++
+	c.State = warp.CTAActive
+	c.ActivatedAt = s.Ev.Now()
+	c.Activations++
+}
+
+// Deactivate unbinds the CTA's warps from their slots (a VT swap-out). The
+// CTA stays resident; its registers and shared memory are untouched.
+func (s *SM) Deactivate(c *warp.CTA) {
+	for i, w := range s.Slots {
+		if w != nil && w.CTA == c {
+			s.Slots[i] = nil
+		}
+	}
+	s.WarpsUsed -= len(c.Warps)
+	s.ThreadsUsed -= c.Threads
+	s.ActiveCTAs--
+	if s.anyOutstandingLoads(c) {
+		c.State = warp.CTAInactiveWaiting
+	} else {
+		c.State = warp.CTAInactiveReady
+	}
+}
+
+func (s *SM) anyOutstandingLoads(c *warp.CTA) bool {
+	for _, w := range c.Warps {
+		if w.OutstandingLoads > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// retire releases everything a completed CTA holds and notifies the
+// controller.
+func (s *SM) retire(c *warp.CTA) {
+	s.Deactivate(c)
+	c.State = warp.CTADone
+	s.RegsUsed -= c.RegsAlloc
+	s.SMemUsed -= c.SMemAlloc
+	for i, r := range s.Resident {
+		if r == c {
+			s.Resident = append(s.Resident[:i], s.Resident[i+1:]...)
+			break
+		}
+	}
+	s.Stats.CTAsCompleted++
+	s.Ctl.CTARetired(s, c)
+}
+
+// Idle reports whether the SM holds no work at all.
+func (s *SM) Idle() bool { return len(s.Resident) == 0 }
+
+// Cycle advances the SM by one core cycle. It returns true when any warp
+// instruction issued (used by the engine's idle-skip heuristic).
+func (s *SM) Cycle() bool {
+	s.Stats.Cycles++
+	s.Ctl.Cycle(s)
+	s.lsuTick()
+
+	issued := false
+	for _, sch := range s.schedulers {
+		if sch.issueOne() {
+			issued = true
+		}
+	}
+	s.accumOccupancy()
+	return issued
+}
+
+// Quiescent reports whether nothing inside the SM can change state without
+// an external event: no LSU traffic pending and no warp ready to issue.
+// The engine uses it to fast-forward across long memory stalls.
+func (s *SM) Quiescent() bool {
+	if len(s.lsuQueue) > 0 {
+		return false
+	}
+	now := s.Ev.Now()
+	if now < s.sfuFreeAt || now < s.smemFreeAt {
+		return false
+	}
+	for _, w := range s.Slots {
+		if w == nil || w.Finished {
+			continue
+		}
+		if w.BlockedState(w.CTA.Launch.Kernel.Code, s.srcBuf) == warp.BlockedNot {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *SM) accumOccupancy() {
+	st := &s.Stats
+	st.ActiveWarpAccum += int64(s.WarpsUsed)
+	st.ActiveCTAAccum += int64(s.ActiveCTAs)
+	st.ResidentCTAAccum += int64(len(s.Resident))
+	rw := 0
+	for _, c := range s.Resident {
+		rw += len(c.Warps)
+	}
+	st.ResidentWarpAccum += int64(rw)
+}
+
+// lsuTick streams one coalesced transaction of the head LSU operation into
+// the memory system per cycle, retrying on MSHR backpressure.
+func (s *SM) lsuTick() {
+	if len(s.lsuQueue) == 0 {
+		return
+	}
+	op := s.lsuQueue[0]
+	line := op.lines[op.next]
+	var done func()
+	if !op.write {
+		done = func() {
+			op.remaining--
+			if op.remaining == 0 {
+				s.loadComplete(op)
+			}
+		}
+	}
+	if !s.Mem.AccessGlobal(s.ID, line, op.write, done) {
+		s.Stats.LSURetries++
+		return // MSHRs full; retry next cycle
+	}
+	op.next++
+	if op.next == len(op.lines) {
+		s.lsuQueue = s.lsuQueue[1:]
+	}
+}
+
+// loadComplete fires when the last line of a warp load returns: the
+// destination becomes readable and, if this was the CTA's last outstanding
+// load while swapped out, the controller learns it is ready again.
+func (s *SM) loadComplete(op *lsuOp) {
+	w := op.w
+	w.SB.ClearPending(op.dst)
+	w.OutstandingLoads--
+	c := w.CTA
+	if c.State == warp.CTAInactiveWaiting && !s.anyOutstandingLoads(c) {
+		c.State = warp.CTAInactiveReady
+		s.Ctl.LoadsDrained(s, c)
+	}
+}
+
+// lsuHasRoom reports whether another warp memory instruction can enter the
+// LSU queue.
+func (s *SM) lsuHasRoom() bool { return len(s.lsuQueue) < s.Cfg.LSUQueueDepth }

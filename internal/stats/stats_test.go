@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Row("alpha", "1")
+	tb.Rowf("beta", 2.5)
+	tb.Note("footnote %d", 7)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "beta", "2.500", "note: footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: "alpha" and "beta " share a column width.
+	lines := strings.Split(out, "\n")
+	var alphaLine, betaLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") {
+			alphaLine = l
+		}
+		if strings.HasPrefix(l, "beta") {
+			betaLine = l
+		}
+	}
+	if strings.Index(alphaLine, "1") != strings.Index(betaLine, "2.500") {
+		t.Errorf("columns misaligned:\n%q\n%q", alphaLine, betaLine)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("ragged", "a")
+	tb.Row("x", "extra", "more")
+	out := tb.String()
+	if !strings.Contains(out, "more") {
+		t.Error("extra cells dropped")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty means must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F3(1.23456) != "1.235" {
+		t.Errorf("F3 = %q", F3(1.23456))
+	}
+	if Pct(1.239) != "+23.9%" {
+		t.Errorf("Pct = %q", Pct(1.239))
+	}
+	if Pct(0.95) != "-5.0%" {
+		t.Errorf("Pct = %q", Pct(0.95))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("demo table", "name", "value")
+	tb.Row("a,b", `say "hi"`)
+	tb.Rowf("plain", 1.5)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\n\"a,b\",\"say \"\"hi\"\"\"\nplain,1.500\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := Slug("VT speedup vs swap latency"); got != "vt-speedup-vs-swap-latency" {
+		t.Fatalf("slug = %q", got)
+	}
+	if got := Slug("  --Weird__ 42 !!"); got != "weird-42" {
+		t.Fatalf("slug = %q", got)
+	}
+}
+
+func TestCSVMirror(t *testing.T) {
+	dir := t.TempDir()
+	SetCSVDir(dir)
+	defer SetCSVDir("")
+	tb := NewTable("mirror me", "a")
+	tb.Row("1")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	data, err := os.ReadFile(filepath.Join(dir, "mirror-me.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a\n1\n" {
+		t.Fatalf("csv file = %q", data)
+	}
+}

@@ -1,0 +1,137 @@
+// Package trace provides a structured JSONL event log for simulations:
+// CTA state transitions, occupancy samples, and run markers, written one
+// JSON object per line so external tools (jq, pandas) can consume them.
+// The writer is wiring-agnostic — cmd/vtsim connects it to the simulator's
+// trace and timeline hooks.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind labels an event record.
+type Kind string
+
+// Event kinds.
+const (
+	// KindCTA is a CTA state transition (Virtual Thread policies).
+	KindCTA Kind = "cta"
+	// KindSample is an occupancy/IPC timeline sample.
+	KindSample Kind = "sample"
+	// KindRun marks the start or end of a simulation.
+	KindRun Kind = "run"
+)
+
+// Event is one trace record. Fields irrelevant to a kind are omitted.
+type Event struct {
+	Cycle int64 `json:"cycle"`
+	Kind  Kind  `json:"kind"`
+
+	// KindCTA fields.
+	SM   int    `json:"sm,omitempty"`
+	CTA  int    `json:"cta,omitempty"`
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// KindSample fields.
+	ActiveWarps   float64 `json:"activeWarps,omitempty"`
+	ResidentWarps float64 `json:"residentWarps,omitempty"`
+	IPC           float64 `json:"ipc,omitempty"`
+
+	// KindRun fields.
+	Marker string `json:"marker,omitempty"` // "start" or "end"
+	Kernel string `json:"kernel,omitempty"`
+	Policy string `json:"policy,omitempty"`
+}
+
+// Writer emits events as JSON lines. It buffers; call Flush (or Close the
+// underlying file after Flush) when done. Writer is not concurrency-safe;
+// a simulation is single-threaded so this matches the producer.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// NewWriter returns a JSONL writer over w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one event; errors are sticky and reported by Flush.
+func (tw *Writer) Emit(e Event) {
+	if tw.err != nil {
+		return
+	}
+	if err := tw.enc.Encode(e); err != nil {
+		tw.err = err
+		return
+	}
+	tw.n++
+}
+
+// Count returns the number of events emitted so far.
+func (tw *Writer) Count() int { return tw.n }
+
+// Flush drains the buffer and returns the first error encountered.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.bw.Flush()
+}
+
+// ReadAll parses a JSONL trace back into events.
+func ReadAll(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// Summary aggregates a trace for quick inspection.
+type Summary struct {
+	Events      int
+	Transitions int
+	Samples     int
+	SwapsOut    int
+	LastCycle   int64
+}
+
+// Summarize computes a Summary over events.
+func Summarize(events []Event) Summary {
+	var s Summary
+	for _, e := range events {
+		s.Events++
+		if e.Cycle > s.LastCycle {
+			s.LastCycle = e.Cycle
+		}
+		switch e.Kind {
+		case KindCTA:
+			s.Transitions++
+			if e.To == "inactive-waiting" || e.To == "inactive-ready" {
+				s.SwapsOut++
+			}
+		case KindSample:
+			s.Samples++
+		}
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{Cycle: 0, Kind: KindRun, Marker: "start", Kernel: "nw", Policy: "vt"})
+	w.Emit(Event{Cycle: 12, Kind: KindCTA, SM: 1, CTA: 3, From: "active", To: "inactive-waiting"})
+	w.Emit(Event{Cycle: 100, Kind: KindSample, ActiveWarps: 7.5, ResidentWarps: 20, IPC: 14.25})
+	w.Emit(Event{Cycle: 200, Kind: KindRun, Marker: "end"})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 4 {
+		t.Fatalf("count = %d", w.Count())
+	}
+
+	events, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("read %d events", len(events))
+	}
+	if events[1].To != "inactive-waiting" || events[1].SM != 1 || events[1].CTA != 3 {
+		t.Fatalf("CTA event mangled: %+v", events[1])
+	}
+	if events[2].IPC != 14.25 || events[2].ResidentWarps != 20 {
+		t.Fatalf("sample mangled: %+v", events[2])
+	}
+}
+
+func TestReadAllRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("{\"cycle\":1}\nnot json\n")); err == nil {
+		t.Fatal("expected parse error with line number")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}
+
+func TestReadAllSkipsBlankLines(t *testing.T) {
+	events, err := ReadAll(strings.NewReader("{\"cycle\":1,\"kind\":\"cta\"}\n\n{\"cycle\":2,\"kind\":\"cta\"}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Cycle: 1, Kind: KindCTA, To: "active"},
+		{Cycle: 5, Kind: KindCTA, To: "inactive-waiting"},
+		{Cycle: 7, Kind: KindCTA, To: "inactive-ready"},
+		{Cycle: 9, Kind: KindSample},
+		{Cycle: 11, Kind: KindRun, Marker: "end"},
+	}
+	s := Summarize(events)
+	if s.Events != 5 || s.Transitions != 3 || s.Samples != 1 || s.SwapsOut != 2 || s.LastCycle != 11 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	for i := 0; i < 10000; i++ { // overflow the bufio buffer to force a write
+		w.Emit(Event{Cycle: int64(i), Kind: KindSample})
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("expected sticky write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errFail }
+
+var errFail = &failError{}
+
+type failError struct{}
+
+func (*failError) Error() string { return "fail" }

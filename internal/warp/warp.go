@@ -1,0 +1,308 @@
+// Package warp defines the execution contexts of the simulated GPU — warps
+// and CTAs — and the functional semantics of the ISA. A Warp owns all the
+// per-warp state the hardware keeps: the SIMT stack, scoreboard, register
+// values, and barrier/finish flags. Virtual Thread's central trick is that
+// this state splits into a large capacity part (registers, shared memory)
+// that stays resident and a tiny scheduling part (PC, SIMT stack,
+// scoreboard) that is cheap to save and restore; the package keeps both in
+// the Warp object so policies can bind and unbind warps from hardware warp
+// slots freely.
+package warp
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/simt"
+)
+
+// RegMask is a 256-bit register bitset used by the scoreboard.
+type RegMask [4]uint64
+
+// Set adds register r to the mask.
+func (m *RegMask) Set(r isa.Reg) { m[r>>6] |= 1 << (r & 63) }
+
+// Clear removes register r from the mask.
+func (m *RegMask) Clear(r isa.Reg) { m[r>>6] &^= 1 << (r & 63) }
+
+// Has reports whether register r is in the mask.
+func (m *RegMask) Has(r isa.Reg) bool { return m[r>>6]&(1<<(r&63)) != 0 }
+
+// Any reports whether the mask is non-empty.
+func (m *RegMask) Any() bool { return m[0]|m[1]|m[2]|m[3] != 0 }
+
+// Scoreboard tracks registers with outstanding writes, distinguishing
+// long-latency producers (global loads) from short-latency ALU producers.
+// The distinction drives Virtual Thread's swap trigger: a warp blocked on a
+// global-load register is worth swapping out; one blocked on an ALU result
+// is not.
+type Scoreboard struct {
+	pend RegMask // registers awaiting any writeback
+	load RegMask // subset produced by outstanding global loads
+}
+
+// MarkPending records an outstanding write to r; longLatency tags global
+// loads.
+func (sb *Scoreboard) MarkPending(r isa.Reg, longLatency bool) {
+	if r == isa.RZ {
+		return
+	}
+	sb.pend.Set(r)
+	if longLatency {
+		sb.load.Set(r)
+	}
+}
+
+// ClearPending retires the outstanding write to r.
+func (sb *Scoreboard) ClearPending(r isa.Reg) {
+	if r == isa.RZ {
+		return
+	}
+	sb.pend.Clear(r)
+	sb.load.Clear(r)
+}
+
+// Conflicts reports whether the instruction has a RAW or WAW hazard against
+// outstanding writes, and whether any conflicting register is waiting on a
+// global load. srcBuf is scratch to avoid allocation.
+func (sb *Scoreboard) Conflicts(in *isa.Instr, srcBuf []isa.Reg) (conflict, onLoad bool) {
+	check := func(r isa.Reg) {
+		if r != isa.RZ && sb.pend.Has(r) {
+			conflict = true
+			if sb.load.Has(r) {
+				onLoad = true
+			}
+		}
+	}
+	if in.Op.HasDst() {
+		check(in.Dst)
+	}
+	for _, r := range in.SrcRegs(srcBuf[:0]) {
+		check(r)
+	}
+	return conflict, onLoad
+}
+
+// Busy reports whether any write is outstanding.
+func (sb *Scoreboard) Busy() bool { return sb.pend.Any() }
+
+// Snapshot returns a copy of the scoreboard (it is a value type already;
+// provided for symmetry with the SIMT stack).
+func (sb *Scoreboard) Snapshot() Scoreboard { return *sb }
+
+// CTAState is the lifecycle state of a CTA on an SM. The inactive states
+// exist only under the Virtual Thread policies.
+type CTAState int
+
+// CTA lifecycle states.
+const (
+	// CTAPending is assigned to the SM but never yet activated (VT).
+	// Pending CTAs are ready by definition.
+	CTAPending CTAState = iota
+	// CTAActive owns warp slots and is being scheduled.
+	CTAActive
+	// CTARestoring owns warp slots but its context restore is still in
+	// flight; its warps cannot issue yet (VT swap-in latency).
+	CTARestoring
+	// CTAInactiveWaiting is swapped out with outstanding global loads.
+	CTAInactiveWaiting
+	// CTAInactiveReady is swapped out and able to make progress.
+	CTAInactiveReady
+	// CTADone has retired all of its warps.
+	CTADone
+)
+
+// String names the state for reports.
+func (s CTAState) String() string {
+	switch s {
+	case CTAPending:
+		return "pending"
+	case CTAActive:
+		return "active"
+	case CTARestoring:
+		return "restoring"
+	case CTAInactiveWaiting:
+		return "inactive-waiting"
+	case CTAInactiveReady:
+		return "inactive-ready"
+	case CTADone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// CTA is one resident cooperative thread array: its warps, its functional
+// shared memory, barrier bookkeeping, and the SM resource footprint it
+// holds.
+type CTA struct {
+	FlatID   int      // linear CTA index within the grid
+	KernelID int      // index of the launch in a multi-kernel run
+	ID       isa.Dim3 // three-dimensional CTA index
+	Launch   *isa.Launch
+	Warps    []*Warp
+	SMem     []uint32 // functional shared-memory words
+
+	Arrived  int // warps currently parked at the barrier
+	Finished int // warps that have exited
+
+	RegsAlloc int // SM registers held (allocation-granular)
+	SMemAlloc int // SM shared-memory bytes held
+	Threads   int // thread slots the CTA occupies when active
+
+	State       CTAState
+	AssignedAt  int64 // cycle the CTA became resident
+	ActivatedAt int64 // cycle of the most recent activation
+	Activations int   // number of times the CTA gained warp slots
+}
+
+// Done reports whether every warp has exited.
+func (c *CTA) Done() bool { return c.Finished == len(c.Warps) }
+
+// BarrierReleased reports whether all live warps have arrived.
+func (c *CTA) BarrierReleased() bool {
+	return c.Arrived > 0 && c.Arrived+c.Finished == len(c.Warps)
+}
+
+// Warp is one warp's complete execution context.
+type Warp struct {
+	CTA      *CTA
+	IdxInCTA int
+	Lanes    int // live thread count (last warp of a CTA may be partial)
+
+	Regs  []uint32 // register values, layout [reg*warpSize + lane]
+	warpW int      // warp width used for Regs layout
+
+	Stack simt.Stack
+	SB    Scoreboard
+
+	AtBarrier bool
+	Finished  bool
+
+	// OutstandingLoads counts global-load instructions in flight; it is
+	// nonzero for the swapped-out CTAs that VT must wait on.
+	OutstandingLoads int
+
+	LastIssue    int64 // cycle of the most recent issue (GTO priority)
+	IssuedInstrs int64 // warp instructions issued
+	ThreadInstrs int64 // thread instructions (issued x active lanes)
+}
+
+// NewCTA builds the runtime instance of the flatID'th CTA of the launch,
+// with functional state initialized (registers zero, shared memory zero,
+// SIMT stacks at PC 0). warpSize is the machine's warp width.
+func NewCTA(l *isa.Launch, flatID int, warpSize int) *CTA {
+	g := l.GridDim
+	id := isa.Dim3{
+		X: flatID % g.X,
+		Y: (flatID / g.X) % g.Y,
+		Z: flatID / (g.X * g.Y),
+	}
+	threads := l.BlockDim.Size()
+	nw := l.WarpsPerCTA(warpSize)
+	c := &CTA{
+		FlatID: flatID,
+		ID:     id,
+		Launch: l,
+		SMem:   make([]uint32, (l.Kernel.SMemBytes+3)/4),
+		State:  CTAPending,
+	}
+	for w := 0; w < nw; w++ {
+		lanes := warpSize
+		if rem := threads - w*warpSize; rem < lanes {
+			lanes = rem
+		}
+		wp := &Warp{
+			CTA:      c,
+			IdxInCTA: w,
+			Lanes:    lanes,
+			Regs:     make([]uint32, l.Kernel.NumRegs*warpSize),
+			warpW:    warpSize,
+		}
+		wp.Stack.Reset(lanes)
+		c.Warps = append(c.Warps, wp)
+	}
+	return c
+}
+
+// Reg returns the value of register r in the given lane.
+func (w *Warp) Reg(r isa.Reg, lane int) uint32 {
+	if r == isa.RZ {
+		return 0
+	}
+	return w.Regs[int(r)*w.warpW+lane]
+}
+
+// SetReg writes register r in the given lane; writes to RZ are dropped.
+func (w *Warp) SetReg(r isa.Reg, lane int, v uint32) {
+	if r == isa.RZ {
+		return
+	}
+	w.Regs[int(r)*w.warpW+lane] = v
+}
+
+// GlobalTid returns the lane's linear thread index within its CTA.
+func (w *Warp) GlobalTid(lane int) int { return w.IdxInCTA*w.warpW + lane }
+
+// Blocked classifies why the warp cannot issue its next instruction, for
+// the VT stall detector and the stall-breakdown statistics.
+type Blocked int
+
+// Blocked reasons, from the VT controller's point of view.
+const (
+	BlockedNot     Blocked = iota // ready to issue
+	BlockedALU                    // short-latency scoreboard dependence
+	BlockedMem                    // dependence on an outstanding global load
+	BlockedBarrier                // parked at a CTA barrier
+	BlockedDone                   // warp finished
+)
+
+// String names the blocked reason.
+func (b Blocked) String() string {
+	switch b {
+	case BlockedNot:
+		return "ready"
+	case BlockedALU:
+		return "alu-dep"
+	case BlockedMem:
+		return "mem-dep"
+	case BlockedBarrier:
+		return "barrier"
+	case BlockedDone:
+		return "done"
+	default:
+		return fmt.Sprintf("blocked(%d)", int(b))
+	}
+}
+
+// BlockedState classifies the warp's current impediment, ignoring
+// structural (execution-unit) availability. srcBuf is scratch.
+func (w *Warp) BlockedState(code []isa.Instr, srcBuf []isa.Reg) Blocked {
+	if w.Finished {
+		return BlockedDone
+	}
+	if w.AtBarrier {
+		return BlockedBarrier
+	}
+	pc, _, ok := w.Stack.Current()
+	if !ok {
+		return BlockedDone
+	}
+	in := &code[pc]
+	conflict, onLoad := w.SB.Conflicts(in, srcBuf)
+	switch {
+	case !conflict:
+		return BlockedNot
+	case onLoad:
+		return BlockedMem
+	default:
+		return BlockedALU
+	}
+}
+
+// ContextFootprintBytes returns the scheduling-state bytes VT must save for
+// this warp: PC + SIMT stack + scoreboard + flags. This is the quantity the
+// context buffer budget constrains.
+func (w *Warp) ContextFootprintBytes() int {
+	return 4 /* PC */ + w.Stack.FootprintBytes() + 64 /* scoreboard */ + 4 /* flags */
+}

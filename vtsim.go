@@ -1,0 +1,189 @@
+// Package vtsim is the public API of the Virtual Thread reproduction: a
+// cycle-level GPU simulator with baseline, Virtual Thread (ISCA 2016),
+// ideal, and full-swap CTA scheduling policies, a 14-kernel synthetic
+// workload suite, and the experiment harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := vtsim.GTX480().WithPolicy(vtsim.PolicyVT)
+//	w, _ := vtsim.BuildWorkload("bfs", 1)
+//	res, _ := vtsim.Run(w, cfg)
+//	fmt.Println(res.IPC(), res.VT.SwapsOut)
+//
+// The deeper layers remain importable inside this module: internal/isa to
+// assemble custom kernels, internal/gpu for raw launches, internal/core
+// for the VT controller itself.
+package vtsim
+
+import (
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// Config is the hardware description of the simulated GPU.
+type Config = config.GPUConfig
+
+// Policy selects the CTA scheduling architecture.
+type Policy = config.Policy
+
+// CTA scheduling policies.
+const (
+	PolicyBaseline = config.PolicyBaseline
+	PolicyVT       = config.PolicyVT
+	PolicyIdeal    = config.PolicyIdeal
+	PolicyFullSwap = config.PolicyFullSwap
+)
+
+// Warp scheduler kinds.
+const (
+	SchedGTO = config.SchedGTO
+	SchedLRR = config.SchedLRR
+)
+
+// GTX480 returns the paper's Fermi-class hardware configuration.
+func GTX480() Config { return config.GTX480() }
+
+// SmallConfig returns a scaled-down configuration for experimentation.
+func SmallConfig() Config { return config.Small() }
+
+// Workload is a benchmark instance from the synthetic suite.
+type Workload = kernels.Workload
+
+// Result is the outcome of one simulation.
+type Result = gpu.Result
+
+// VTStats are the Virtual Thread controller counters in a Result.
+type VTStats = core.Stats
+
+// Launch binds a kernel to its grid; build custom kernels with
+// internal/isa's Builder.
+type Launch = isa.Launch
+
+// Backing is the functional global-memory contents.
+type Backing = mem.Backing
+
+// WorkloadNames lists the synthetic suite in evaluation order.
+func WorkloadNames() []string { return kernels.Names() }
+
+// BuildWorkload constructs a suite workload at the given grid scale
+// (1 = evaluation size).
+func BuildWorkload(name string, scale int) (Workload, error) {
+	return kernels.Build(name, scale)
+}
+
+// Suite returns every suite workload at the given scale.
+func Suite(scale int) []Workload { return kernels.Suite(scale) }
+
+// Run simulates a suite workload on the configured GPU.
+func Run(w Workload, cfg Config) (*Result, error) {
+	return gpu.Run(w.Launch, cfg, gpu.Options{InitMemory: w.Init})
+}
+
+// RunLaunch simulates an arbitrary launch, optionally preloading global
+// memory and receiving it back after the run.
+func RunLaunch(l *Launch, cfg Config, init func(*Backing), keep func(*Backing)) (*Result, error) {
+	return gpu.Run(l, cfg, gpu.Options{InitMemory: init, KeepBacking: keep})
+}
+
+// TraceEvent is a Virtual Thread CTA state transition.
+type TraceEvent = core.TraceEvent
+
+// RunTraced simulates a workload under a VT policy, streaming CTA state
+// transitions to trace.
+func RunTraced(w Workload, cfg Config, trace func(TraceEvent)) (*Result, error) {
+	return gpu.Run(w.Launch, cfg, gpu.Options{InitMemory: w.Init, Trace: trace})
+}
+
+// Experiment is one reproducible table or figure of the evaluation.
+type Experiment = harness.Experiment
+
+// ExperimentParams configure a harness run.
+type ExperimentParams = harness.Params
+
+// DefaultExperimentParams returns the evaluation defaults (full GTX 480,
+// scale 1).
+func DefaultExperimentParams() ExperimentParams { return harness.DefaultParams() }
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment { return harness.Experiments() }
+
+// RunExperiment executes one experiment by ID, writing its tables to w.
+func RunExperiment(id string, p ExperimentParams, w io.Writer) error {
+	e, err := harness.Get(id)
+	if err != nil {
+		return err
+	}
+	return e.Run(p, w)
+}
+
+// RunAllExperiments regenerates every table and figure.
+func RunAllExperiments(p ExperimentParams, w io.Writer) error {
+	return harness.RunAll(p, w)
+}
+
+// RunSampled simulates a suite workload, recording an occupancy/IPC sample
+// every sampleInterval cycles into Result.Timeline (0 disables sampling).
+func RunSampled(w Workload, cfg Config, sampleInterval int64) (*Result, error) {
+	return gpu.Run(w.Launch, cfg, gpu.Options{
+		InitMemory:     w.Init,
+		SampleInterval: sampleInterval,
+	})
+}
+
+// BuildWorkloadAt constructs a suite workload with its buffers in the
+// given memory arena; concurrent runs must give each kernel a disjoint
+// arena (DefaultArena + k*ArenaStride).
+func BuildWorkloadAt(name string, scale int, arena uint32) (Workload, error) {
+	return kernels.BuildAt(name, scale, arena)
+}
+
+// Arena layout constants for BuildWorkloadAt.
+const (
+	DefaultArena = kernels.DefaultArena
+	ArenaStride  = kernels.ArenaStride
+)
+
+// RunConcurrentNames simulates the named suite workloads executing
+// concurrently on one GPU (concurrent kernel execution), giving each a
+// disjoint memory arena. The dispatcher interleaves their CTAs across
+// SMs, and under VT inactive CTAs of different kernels share each SM's
+// capacity. Result.PerKernel reports per-launch counts.
+func RunConcurrentNames(names []string, scale int, cfg Config) (*Result, error) {
+	launches := make([]*isa.Launch, len(names))
+	inits := make([]func(*Backing), 0, len(names))
+	for i, n := range names {
+		w, err := kernels.BuildAt(n, scale, uint32(kernels.DefaultArena+i*kernels.ArenaStride))
+		if err != nil {
+			return nil, err
+		}
+		launches[i] = w.Launch
+		if w.Init != nil {
+			inits = append(inits, w.Init)
+		}
+	}
+	return gpu.RunMulti(launches, cfg, gpu.Options{
+		InitMemory: func(b *Backing) {
+			for _, init := range inits {
+				init(b)
+			}
+		},
+	})
+}
+
+// RunTracedSampled combines RunTraced and RunSampled: VT state transitions
+// stream to trace while the occupancy timeline is recorded.
+func RunTracedSampled(w Workload, cfg Config, sampleInterval int64, trace func(TraceEvent)) (*Result, error) {
+	return gpu.Run(w.Launch, cfg, gpu.Options{
+		InitMemory:     w.Init,
+		Trace:          trace,
+		SampleInterval: sampleInterval,
+	})
+}
