@@ -33,8 +33,12 @@ func benchExperiment(b *testing.B, id string) {
 	if testing.Verbose() {
 		out = os.Stdout
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Drop the memo cache so every iteration re-simulates; otherwise
+		// iterations after the first would measure cache lookups.
+		ResetExperimentMetrics()
 		if err := RunExperiment(id, p, out); err != nil {
 			b.Fatal(err)
 		}
@@ -136,12 +140,16 @@ func BenchmarkEventQueue(b *testing.B) {
 // second.
 func BenchmarkSimulationCyclesPerSecond(b *testing.B) {
 	cfg := config.GTX480()
+	// Build outside the timed region: workload generation is setup, not
+	// simulation, and gpu.Run never mutates the Launch.
+	w, err := kernels.Build("pathfinder", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	var cycles int64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w, err := kernels.Build("pathfinder", 1)
-		if err != nil {
-			b.Fatal(err)
-		}
 		res, err := gpu.Run(w.Launch, cfg, gpu.Options{InitMemory: w.Init})
 		if err != nil {
 			b.Fatal(err)
@@ -155,11 +163,13 @@ func BenchmarkSimulationCyclesPerSecond(b *testing.B) {
 // active (swap machinery on the hot path).
 func BenchmarkSimulationVT(b *testing.B) {
 	cfg := config.GTX480().WithPolicy(config.PolicyVT)
+	w, err := kernels.Build("pathfinder", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w, err := kernels.Build("pathfinder", 1)
-		if err != nil {
-			b.Fatal(err)
-		}
 		if _, err := gpu.Run(w.Launch, cfg, gpu.Options{InitMemory: w.Init}); err != nil {
 			b.Fatal(err)
 		}

@@ -8,28 +8,64 @@
 //	vtbench -run fig-speedup   # one experiment
 //	vtbench -list              # list experiments
 //	vtbench -dilute 10         # shrink grids 10x for a quick pass
+//	vtbench -json BENCH_engine.json   # per-experiment wall time + simcycles/s
+//	vtbench -cpuprofile cpu.pprof     # profile, labeled by experiment/workload/variant
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	vtsim "repro"
 	"repro/internal/stats"
 )
 
+// expReport is one experiment's row in the -json output.
+type expReport struct {
+	ID              string  `json:"id"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	RunsRequested   int     `json:"runs_requested"`
+	RunsExecuted    int     `json:"runs_executed"`
+	CacheHits       int     `json:"cache_hits"`
+	SimCycles       int64   `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"simcycles_per_sec"`
+}
+
+// benchReport is the top-level -json document.
+type benchReport struct {
+	Date            string      `json:"date"`
+	GoVersion       string      `json:"go_version"`
+	GOMAXPROCS      int         `json:"gomaxprocs"`
+	Scale           int         `json:"scale"`
+	Dilute          int         `json:"dilute"`
+	Workers         int         `json:"workers"`
+	TotalWallSec    float64     `json:"total_wall_seconds"`
+	RunsRequested   int         `json:"runs_requested"`
+	RunsExecuted    int         `json:"runs_executed"`
+	CacheHits       int         `json:"cache_hits"`
+	SimCycles       int64       `json:"sim_cycles"`
+	SimCyclesPerSec float64     `json:"simcycles_per_sec"`
+	Experiments     []expReport `json:"experiments"`
+}
+
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment ID or \"all\"")
-		scale   = flag.Int("scale", 1, "grid size multiplier")
-		dilute  = flag.Int("dilute", 1, "divide grid sizes by this factor (quick passes)")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		out     = flag.String("out", "", "write output to file instead of stdout")
-		csvDir  = flag.String("csv", "", "also write every table as CSV into this directory")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		run        = flag.String("run", "all", "experiment ID or \"all\"")
+		scale      = flag.Int("scale", 1, "grid size multiplier")
+		dilute     = flag.Int("dilute", 1, "divide grid sizes by this factor (quick passes)")
+		workers    = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		out        = flag.String("out", "", "write output to file instead of stdout")
+		csvDir     = flag.String("csv", "", "also write every table as CSV into this directory")
+		jsonPath   = flag.String("json", "", "write per-experiment wall time and simcycles/s to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -57,22 +93,103 @@ func main() {
 		stats.SetCSVDir(*csvDir)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	p := vtsim.DefaultExperimentParams()
 	p.Scale = *scale
 	p.Dilute = *dilute
 	p.Workers = *workers
 
-	start := time.Now()
-	var err error
+	var todo []vtsim.Experiment
 	if *run == "all" {
-		err = vtsim.RunAllExperiments(p, w)
+		todo = vtsim.Experiments()
 	} else {
-		err = vtsim.RunExperiment(*run, p, w)
+		e, err := vtsim.GetExperiment(*run)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		todo = []vtsim.Experiment{e}
 	}
-	if err != nil {
-		fatalf("%v", err)
+
+	report := benchReport{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		Dilute:     *dilute,
+		Workers:    *workers,
 	}
-	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	start := time.Now()
+	for _, e := range todo {
+		if *run == "all" {
+			fmt.Fprintf(w, "### %s — %s\n", e.ID, e.Title)
+			if e.Paper != "" {
+				fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
+			}
+		}
+		before := vtsim.ExperimentMetrics()
+		t0 := time.Now()
+		if err := vtsim.RunExperiment(e.ID, p, w); err != nil {
+			fatalf("%s: %v", e.ID, err)
+		}
+		wall := time.Since(t0).Seconds()
+		m := vtsim.ExperimentMetrics()
+		r := expReport{
+			ID:            e.ID,
+			WallSeconds:   wall,
+			RunsRequested: m.Requests - before.Requests,
+			RunsExecuted:  m.Executed - before.Executed,
+			CacheHits:     m.CacheHits - before.CacheHits,
+			SimCycles:     m.SimCycles - before.SimCycles,
+		}
+		if wall > 0 {
+			r.SimCyclesPerSec = float64(r.SimCycles) / wall
+		}
+		report.Experiments = append(report.Experiments, r)
+	}
+	report.TotalWallSec = time.Since(start).Seconds()
+	m := vtsim.ExperimentMetrics()
+	report.RunsRequested = m.Requests
+	report.RunsExecuted = m.Executed
+	report.CacheHits = m.CacheHits
+	report.SimCycles = m.SimCycles
+	if report.TotalWallSec > 0 {
+		report.SimCyclesPerSec = float64(m.SimCycles) / report.TotalWallSec
+	}
+	fmt.Fprintf(w, "total wall time: %s\n", time.Duration(report.TotalWallSec*float64(time.Second)).Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fatalf("json: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fatalf("json: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "vtbench: wrote %s\n", *jsonPath)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

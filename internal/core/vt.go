@@ -63,6 +63,12 @@ type smState struct {
 	ports        []int64 // context-buffer ports: next free cycle each
 	ctxBytesUsed int     // context buffer bytes held by inactive CTAs
 	wakeAt       int64
+	// fit is the admission predicate for this SM, built once on first
+	// use so the per-cycle admit loop does not allocate a closure.
+	fit func(regs, smem, warps, threads int) bool
+	// src is register-source scratch for BlockedState; per-SM (not
+	// package-global) so concurrent simulations never share it.
+	src [8]isa.Reg
 }
 
 // freePort returns the index of a context-buffer port free at now, or -1.
@@ -126,12 +132,8 @@ func (v *Controller) Cycle(s *sm.SM) {
 // virtual-CTA cap, and the context buffer allow.
 func (v *Controller) admit(s *sm.SM) {
 	st := &v.perSM[s.ID]
-	for {
-		if vcap := s.Cfg.VT.MaxVirtualCTAsPerSM; vcap > 0 && len(s.Resident) >= vcap {
-			v.Stats.DeniedByCap++
-			return
-		}
-		c := v.grid.Next(func(regs, smem, warps, threads int) bool {
+	if st.fit == nil {
+		st.fit = func(regs, smem, warps, threads int) bool {
 			if !s.HasCapacityFor(regs, smem) {
 				return false
 			}
@@ -144,7 +146,14 @@ func (v *Controller) admit(s *sm.SM) {
 				return false
 			}
 			return true
-		})
+		}
+	}
+	for {
+		if vcap := s.Cfg.VT.MaxVirtualCTAsPerSM; vcap > 0 && len(s.Resident) >= vcap {
+			v.Stats.DeniedByCap++
+			return
+		}
+		c := v.grid.Next(st.fit)
 		if c == nil {
 			return
 		}
@@ -321,7 +330,7 @@ func (v *Controller) stalledEnough(s *sm.SM, c *warp.CTA, code []isa.Instr) bool
 	anyMem := false
 	unfinished, blocked := 0, 0
 	for _, w := range c.Warps {
-		switch w.BlockedState(code, srcScratch[:]) {
+		switch w.BlockedState(code, v.perSM[s.ID].src[:]) {
 		case warp.BlockedDone:
 			continue
 		case warp.BlockedMem:
@@ -342,8 +351,6 @@ func (v *Controller) stalledEnough(s *sm.SM, c *warp.CTA, code []isa.Instr) bool
 	}
 	return float64(blocked) >= frac*float64(unfinished)
 }
-
-var srcScratch [8]isa.Reg
 
 // CTARetired frees the retired CTA's accounting. Activation of a successor
 // happens in the next Cycle call.

@@ -77,6 +77,87 @@ func (q *Queue) AdvanceTo(cycle int64) {
 // Pending returns the number of scheduled events.
 func (q *Queue) Pending() int { return len(q.h) }
 
+// Scheduler is the scheduling surface shared by the global Queue and the
+// per-SM Lanes: components program against it so the engine can reroute
+// their event traffic through a lane during parallel stepping.
+type Scheduler interface {
+	Now() int64
+	At(cycle int64, fn Func)
+	After(delay int64, fn Func)
+}
+
+var (
+	_ Scheduler = (*Queue)(nil)
+	_ Scheduler = (*Lane)(nil)
+)
+
+// Lane is one SM's private on-ramp to the shared queue. Outside a
+// buffering window it passes every schedule straight through (the
+// sequential engine never pays for it). During the parallel engine's step
+// phase each SM buffers into its own lane without locking; the engine then
+// commits the lanes in ascending SM-index order, which reproduces the seq
+// numbers — and therefore the same-cycle event ordering — of the
+// sequential engine exactly.
+type Lane struct {
+	q         *Queue
+	buffering bool
+	buf       []item // seq unused; order is positional
+}
+
+// NewLane returns a pass-through lane over the queue.
+func NewLane(q *Queue) *Lane { return &Lane{q: q} }
+
+// Now returns the shared clock. The engine only advances the clock between
+// stepping windows, so concurrent readers are safe.
+func (l *Lane) Now() int64 { return l.q.Now() }
+
+// At schedules fn at the given cycle: directly on the queue when passing
+// through, into the lane's buffer during a stepping window.
+func (l *Lane) At(cycle int64, fn Func) {
+	if !l.buffering {
+		l.q.At(cycle, fn)
+		return
+	}
+	if cycle < l.q.now {
+		cycle = l.q.now // clamp like Queue.At; now is frozen until commit
+	}
+	l.buf = append(l.buf, item{cycle: cycle, fn: fn})
+}
+
+// After schedules fn delay cycles from now.
+func (l *Lane) After(delay int64, fn Func) { l.At(l.q.Now()+delay, fn) }
+
+// StartBuffering opens a stepping window: schedules are held in the lane
+// until Commit.
+func (l *Lane) StartBuffering() { l.buffering = true }
+
+// Commit flushes buffered schedules into the queue in the order they were
+// made and returns the lane to pass-through mode.
+func (l *Lane) Commit() {
+	l.buffering = false
+	for i := range l.buf {
+		l.q.At(l.buf[i].cycle, l.buf[i].fn)
+		l.buf[i].fn = nil // release the closure
+	}
+	l.buf = l.buf[:0]
+}
+
+// MinPending returns the earliest buffered (uncommitted) cycle, and
+// ok=false when the lane is empty. The engine's idle-skip consults every
+// lane so a buffered wakeup is never skipped past.
+func (l *Lane) MinPending() (int64, bool) {
+	if len(l.buf) == 0 {
+		return 0, false
+	}
+	min := l.buf[0].cycle
+	for _, it := range l.buf[1:] {
+		if it.cycle < min {
+			min = it.cycle
+		}
+	}
+	return min, true
+}
+
 // NextCycle returns the cycle of the earliest pending event, and ok=false
 // when the queue is empty. Used by the engine to skip idle cycles.
 func (q *Queue) NextCycle() (int64, bool) {

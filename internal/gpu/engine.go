@@ -1,0 +1,194 @@
+package gpu
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/mem"
+	"repro/internal/sm"
+	"repro/internal/warp"
+)
+
+// engine drives the per-cycle simulation loop. Two modes share every
+// policy decision and produce bit-identical results:
+//
+//   - sequential (parallelism 1): each cycle runs SM[i].Cycle() in index
+//     order, exactly the original single-threaded loop.
+//   - parallel: each cycle runs the serial controller phase for every SM
+//     in index order, then steps shards of SMs concurrently under a cycle
+//     barrier, then commits each SM's buffered side effects (event-lane
+//     schedules, global-memory lane loops) in ascending SM-index order —
+//     which reproduces the sequential engine's event sequence numbers and
+//     memory interleaving exactly.
+type engine struct {
+	sms      []*sm.SM
+	ev       *event.Queue
+	parallel bool
+
+	// Parallel-mode machinery.
+	glogs   []*warp.GmemLog
+	backing *mem.Backing
+	start   []chan struct{}
+	done    sync.WaitGroup
+	issued  []bool // one flag per worker, written only by that worker
+	panics  []any  // one slot per worker
+	stop    chan struct{}
+}
+
+// newEngine prepares the loop. workers <= 1 selects the sequential mode.
+func newEngine(sms []*sm.SM, ev *event.Queue, msys *mem.System,
+	backing *mem.Backing, workers int) *engine {
+
+	e := &engine{sms: sms, ev: ev}
+	if workers <= 1 || len(sms) <= 1 {
+		return e
+	}
+	if workers > len(sms) {
+		workers = len(sms)
+	}
+	e.parallel = true
+	e.backing = backing
+	e.glogs = make([]*warp.GmemLog, len(sms))
+	for i, s := range e.sms {
+		e.glogs[i] = &warp.GmemLog{}
+		s.Glog = e.glogs[i]
+		msys.BindLane(i, s.Ev) // L1 traffic joins the SM's event lane
+	}
+	msys.ShardStats()
+
+	e.start = make([]chan struct{}, workers)
+	e.issued = make([]bool, workers)
+	e.panics = make([]any, workers)
+	e.stop = make(chan struct{})
+	for k := range e.start {
+		e.start[k] = make(chan struct{}, 1)
+		go e.worker(k)
+	}
+	return e
+}
+
+// worker steps its shard (SMs k, k+W, k+2W, ...) each time it is signaled.
+func (e *engine) worker(k int) {
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.start[k]:
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e.panics[k] = r
+				}
+				e.done.Done()
+			}()
+			issued := false
+			for i := k; i < len(e.sms); i += len(e.start) {
+				if e.sms[i].StepPhase() {
+					issued = true
+				}
+			}
+			e.issued[k] = issued
+		}()
+	}
+}
+
+// shutdown releases the worker goroutines.
+func (e *engine) shutdown() {
+	if e.parallel {
+		close(e.stop)
+	}
+}
+
+// cycle advances every SM by one core cycle and reports whether any warp
+// instruction issued anywhere.
+func (e *engine) cycle() bool {
+	if !e.parallel {
+		issued := false
+		for _, s := range e.sms {
+			if s.Cycle() {
+				issued = true
+			}
+		}
+		return issued
+	}
+
+	// Serial controller phase, SM-index order, with event lanes buffering
+	// so controller wakeups interleave into the queue at exactly the
+	// sequential engine's position.
+	for _, s := range e.sms {
+		s.Ev.StartBuffering()
+		s.CtlPhase()
+	}
+
+	// Parallel step phase under the cycle barrier.
+	e.done.Add(len(e.start))
+	for k := range e.start {
+		e.start[k] <- struct{}{}
+	}
+	e.done.Wait()
+	for k, p := range e.panics {
+		if p != nil {
+			e.panics[k] = nil
+			panic(p)
+		}
+	}
+
+	// Commit buffered cross-SM effects in ascending SM-index order.
+	issued := false
+	for i, s := range e.sms {
+		s.Ev.Commit()
+		e.glogs[i].Flush(e.backing)
+	}
+	for _, is := range e.issued {
+		if is {
+			issued = true
+		}
+	}
+	return issued
+}
+
+// quiescent reports whether no SM can change state without an event.
+func (e *engine) quiescent() bool {
+	for _, s := range e.sms {
+		if !s.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// nextEvent returns the earliest cycle at which anything — the shared
+// queue, any SM's uncommitted lane, or any SM's local writeback wheel —
+// will change state. ok=false means the simulation can make no progress.
+func (e *engine) nextEvent() (int64, bool) {
+	next, ok := e.ev.NextCycle()
+	merge := func(c int64, cok bool) {
+		if cok && (!ok || c < next) {
+			next, ok = c, true
+		}
+	}
+	for _, s := range e.sms {
+		merge(s.NextWake())
+		merge(s.Ev.MinPending())
+	}
+	return next, ok
+}
+
+// resolveWorkers maps an Options.Parallelism setting to a worker count:
+// 0 (auto) uses one worker per core up to one per SM; 1 forces the
+// sequential engine; larger values are capped at the SM count.
+func resolveWorkers(parallelism, numSMs int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > numSMs {
+		w = numSMs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -120,9 +120,7 @@ type baselineController struct {
 
 func (b *baselineController) Cycle(s *sm.SM) {
 	for {
-		c := b.src.Next(func(regs, smem, warps, threads int) bool {
-			return s.HasCapacityFor(regs, smem) && s.CanActivateFor(warps, threads)
-		})
+		c := b.src.Next(s.Fit)
 		if c == nil {
 			return
 		}
@@ -153,6 +151,12 @@ type Options struct {
 	// SampleInterval, when positive, records an occupancy/IPC sample
 	// every that-many cycles into Result.Timeline.
 	SampleInterval int64
+	// Parallelism selects the intra-run engine: 0 (default) shards SMs
+	// across one worker per core (capped at the SM count), 1 forces the
+	// sequential engine, N > 1 uses N workers. Results are bit-identical
+	// at every setting; see docs/ARCHITECTURE.md for the determinism
+	// contract.
+	Parallelism int
 }
 
 // Run simulates one launch on the configured GPU and returns its result.
@@ -242,6 +246,9 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		})
 	}
 
+	eng := newEngine(sms, ev, msys, backing, resolveWorkers(opts.Parallelism, cfg.NumSMs))
+	defer eng.shutdown()
+
 	cycle := int64(0)
 	for {
 		if grid.Remaining() == 0 {
@@ -257,36 +264,23 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 			}
 		}
 
-		issued := false
-		for _, s := range sms {
-			if s.Cycle() {
-				issued = true
-			}
-		}
+		issued := eng.cycle()
 
 		next := cycle + 1
-		if !issued && !opts.DisableIdleSkip {
+		if !issued && !opts.DisableIdleSkip && eng.quiescent() {
 			// Fast-forward across stall periods: nothing inside any SM
-			// can change state until the next scheduled event.
-			quiet := true
-			for _, s := range sms {
-				if !s.Quiescent() {
-					quiet = false
-					break
+			// can change state until the next scheduled event — in the
+			// shared queue or any SM's local writeback wheel.
+			if evNext, ok := eng.nextEvent(); ok && evNext > next {
+				next = evNext
+				for _, s := range sms {
+					s.AccountSkipped(next - cycle - 1)
 				}
-			}
-			if quiet {
-				if evNext, ok := ev.NextCycle(); ok && evNext > next {
-					next = evNext
-					for _, s := range sms {
-						s.AccountSkipped(next - cycle - 1)
-					}
-				} else if !ok {
-					// No events pending and nothing schedulable:
-					// the simulation cannot make progress.
-					return nil, fmt.Errorf("gpu: kernel %q deadlocked at cycle %d",
-						launches[0].Kernel.Name, cycle)
-				}
+			} else if !ok {
+				// No events pending and nothing schedulable:
+				// the simulation cannot make progress.
+				return nil, fmt.Errorf("gpu: kernel %q deadlocked at cycle %d",
+					launches[0].Kernel.Name, cycle)
 			}
 		}
 		if opts.SampleInterval > 0 {
@@ -311,7 +305,7 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		Kernel:     name,
 		Policy:     cfg.Policy,
 		Cycles:     cycle,
-		Mem:        msys.Stats,
+		Mem:        msys.CollectStats(),
 		NumSMs:     cfg.NumSMs,
 		Schedulers: cfg.NumSchedulers,
 		WarpSize:   cfg.WarpSize,

@@ -1,0 +1,134 @@
+package gpu
+
+// Determinism contract of the parallel engine: for every policy and any
+// worker count, a run must produce a Result bit-identical to the
+// sequential engine — cycles, every SM/Mem/VT counter, per-kernel splits,
+// and occupancy timelines. These tests force Parallelism > 1 so the
+// parallel path is exercised even on single-core CI machines, and are the
+// tests CI runs under -race.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+func runOnce(t *testing.T, workload string, policy config.Policy, opts Options) *Result {
+	t.Helper()
+	w, err := kernels.Build(workload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch.GridDim = isa.Dim1(24)
+	opts.InitMemory = w.Init
+	res, err := Run(w.Launch, config.Small().WithPolicy(policy), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParallelEquivalence(t *testing.T) {
+	policies := []config.Policy{
+		config.PolicyBaseline, config.PolicyVT, config.PolicyFullSwap, config.PolicyIdeal,
+	}
+	workloads := []string{"pathfinder", "bfs", "nw"}
+	for _, workload := range workloads {
+		for _, policy := range policies {
+			workload, policy := workload, policy
+			t.Run(workload+"/"+policy.String(), func(t *testing.T) {
+				seq := runOnce(t, workload, policy, Options{Parallelism: 1})
+				for _, workers := range []int{3, 4} {
+					par := runOnce(t, workload, policy, Options{Parallelism: workers})
+					if !reflect.DeepEqual(seq, par) {
+						t.Fatalf("parallelism %d diverged from sequential:\nseq: cycles=%d issued=%d mem=%+v vt=%+v\npar: cycles=%d issued=%d mem=%+v vt=%+v",
+							workers,
+							seq.Cycles, seq.SM.Issued, seq.Mem, seq.VT,
+							par.Cycles, par.SM.Issued, par.Mem, par.VT)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEquivalenceTimeline checks that occupancy sampling and the
+// idle-skip interplay are identical under the parallel engine.
+func TestParallelEquivalenceTimeline(t *testing.T) {
+	seq := runOnce(t, "pathfinder", config.PolicyVT,
+		Options{Parallelism: 1, SampleInterval: 64})
+	par := runOnce(t, "pathfinder", config.PolicyVT,
+		Options{Parallelism: 4, SampleInterval: 64})
+	if !reflect.DeepEqual(seq.Timeline, par.Timeline) {
+		t.Fatalf("timelines diverged: seq %d samples, par %d samples",
+			len(seq.Timeline), len(par.Timeline))
+	}
+}
+
+// TestParallelEquivalenceNoIdleSkip forces every cycle to be simulated,
+// covering the barrier path on cycles where nothing issues.
+func TestParallelEquivalenceNoIdleSkip(t *testing.T) {
+	seq := runOnce(t, "nw", config.PolicyVT, Options{Parallelism: 1, DisableIdleSkip: true})
+	par := runOnce(t, "nw", config.PolicyVT, Options{Parallelism: 4, DisableIdleSkip: true})
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("no-idle-skip runs diverged: seq cycles=%d, par cycles=%d",
+			seq.Cycles, par.Cycles)
+	}
+}
+
+// TestParallelEquivalenceMultiKernel covers concurrent kernel execution:
+// the shared round-robin dispenser is controller-phase state, so it must
+// dispense identically under the parallel engine.
+func TestParallelEquivalenceMultiKernel(t *testing.T) {
+	build := func(t *testing.T) []*isa.Launch {
+		var launches []*isa.Launch
+		for _, name := range []string{"pathfinder", "nw"} {
+			w, err := kernels.Build(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Launch.GridDim = isa.Dim1(12)
+			launches = append(launches, w.Launch)
+		}
+		return launches
+	}
+	run := func(t *testing.T, workers int) *Result {
+		res, err := RunMulti(build(t), config.Small().WithPolicy(config.PolicyVT),
+			Options{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(t, 1)
+	par := run(t, 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("multi-kernel runs diverged: seq cycles=%d, par cycles=%d",
+			seq.Cycles, par.Cycles)
+	}
+}
+
+// TestResolveWorkers pins the Parallelism-to-workers mapping.
+func TestResolveWorkers(t *testing.T) {
+	cases := []struct{ parallelism, sms, want int }{
+		{1, 15, 1},
+		{4, 15, 4},
+		{64, 15, 15},
+		{-3, 15, 1}, // negative: clamp through GOMAXPROCS floor of 1
+	}
+	for _, tc := range cases {
+		if tc.parallelism < 0 {
+			continue // GOMAXPROCS-dependent; covered implicitly by 0 path
+		}
+		if got := resolveWorkers(tc.parallelism, tc.sms); got != tc.want {
+			t.Errorf("resolveWorkers(%d, %d) = %d, want %d",
+				tc.parallelism, tc.sms, got, tc.want)
+		}
+	}
+	if got := resolveWorkers(0, 4); got < 1 || got > 4 {
+		t.Errorf("resolveWorkers(0, 4) = %d, want within [1,4]", got)
+	}
+}

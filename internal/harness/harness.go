@@ -6,15 +6,16 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
 	"repro/internal/config"
 	"repro/internal/gpu"
-	"repro/internal/isa"
 	"repro/internal/kernels"
 )
 
@@ -89,11 +90,47 @@ func RunAll(p Params, w io.Writer) error {
 		if e.Paper != "" {
 			fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
 		}
-		if err := e.Run(p, w); err != nil {
+		if err := RunOne(e, p, w); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 	}
 	return nil
+}
+
+// labelCtx carries the pprof labels of the experiment currently running,
+// so runMany can stack (workload, variant) labels on top of it.
+// Experiments run one at a time, so a single slot suffices.
+var (
+	labelMu  sync.Mutex
+	labelCtx = context.Background()
+)
+
+func swapLabelCtx(ctx context.Context) context.Context {
+	labelMu.Lock()
+	defer labelMu.Unlock()
+	old := labelCtx
+	labelCtx = ctx
+	return old
+}
+
+func currentLabelCtx() context.Context {
+	labelMu.Lock()
+	defer labelMu.Unlock()
+	return labelCtx
+}
+
+// RunOne executes a single experiment with a pprof "experiment" label
+// attached, so CPU profiles segment by figure/table as well as by the
+// per-run (workload, variant) labels runMany adds.
+func RunOne(e Experiment, p Params, w io.Writer) error {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("experiment", e.ID),
+		func(ctx context.Context) {
+			old := swapLabelCtx(ctx)
+			defer swapLabelCtx(old)
+			err = e.Run(p, w)
+		})
+	return err
 }
 
 // job is one simulation request.
@@ -110,7 +147,10 @@ type key struct {
 }
 
 // runMany executes all jobs with bounded parallelism and returns results
-// keyed by (workload, variant). Any simulation error aborts the batch.
+// keyed by (workload, variant). Repeated simulation points are served
+// from the memo cache (see memo.go). Any simulation error aborts the
+// batch. Each run carries pprof labels so CPU profiles attribute samples
+// to the (workload, variant) that burned them.
 func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
 	results := make(map[key]*gpu.Result, len(jobs))
 	var mu sync.Mutex
@@ -123,33 +163,21 @@ func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			w, err := kernels.Build(j.workload, p.Scale)
-			if err == nil {
-				if p.Dilute > 1 {
-					g := w.Launch.GridDim.Size() / p.Dilute
-					if g < 8 {
-						g = 8
-					}
-					w.Launch.GridDim = isa.Dim1(g)
-				}
-				cfg := p.Config
-				if j.mutate != nil {
-					j.mutate(&cfg)
-				}
-				var res *gpu.Result
-				res, err = gpu.Run(w.Launch, cfg, gpu.Options{InitMemory: w.Init})
-				if err == nil {
-					mu.Lock()
-					results[key{j.workload, j.variant}] = res
-					mu.Unlock()
-					return
-				}
-			}
+			var res *gpu.Result
+			var err error
+			labels := pprof.Labels("workload", j.workload, "variant", j.variant)
+			pprof.Do(currentLabelCtx(), labels, func(context.Context) {
+				res, err = memoRun(p, j)
+			})
 			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%s/%s: %w", j.workload, j.variant, err)
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s/%s: %w", j.workload, j.variant, err)
+				}
+				return
 			}
-			mu.Unlock()
+			results[key{j.workload, j.variant}] = res
 		}(j)
 	}
 	wg.Wait()

@@ -110,6 +110,98 @@ func TestSwapTableDiluted(t *testing.T) {
 	}
 }
 
+// TestRunMemoization pins the memo-cache contract: identical simulation
+// points execute gpu.Run once, repeats are cache hits, and distinct
+// configs never collide.
+func TestRunMemoization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ResetMetrics()
+	defer ResetMetrics()
+	p := Params{Scale: 1, Config: config.Small(), Dilute: 50, Workers: 2}
+	jobs := policyJobs([]string{"pathfinder", "nw"},
+		[]config.Policy{config.PolicyBaseline, config.PolicyVT})
+
+	first, err := runMany(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics()
+	if m.Requests != 4 || m.Executed != 4 || m.CacheHits != 0 {
+		t.Fatalf("cold batch: %+v, want 4 requests all executed", m)
+	}
+	if m.SimCycles <= 0 {
+		t.Fatalf("cold batch recorded no simulated cycles: %+v", m)
+	}
+
+	second, err := runMany(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = Metrics()
+	if m.Requests != 8 || m.Executed != 4 || m.CacheHits != 4 {
+		t.Fatalf("warm batch: %+v, want 4 hits and no new executions", m)
+	}
+	for k, res := range first {
+		if second[k] != res {
+			t.Errorf("%v: warm batch returned a different *Result", k)
+		}
+	}
+
+	// A different hardware point must miss.
+	bigger := p
+	bigger.Config.NumSMs++
+	if _, err := runMany(bigger, jobs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if m = Metrics(); m.Executed != 5 {
+		t.Fatalf("config change did not miss the cache: %+v", m)
+	}
+
+	// A different grid (dilution) must miss too.
+	coarser := p
+	coarser.Dilute = 10
+	if _, err := runMany(coarser, jobs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if m = Metrics(); m.Executed != 6 {
+		t.Fatalf("grid change did not miss the cache: %+v", m)
+	}
+}
+
+// TestRunAllMemoizes asserts the headline property: running overlapping
+// experiments performs strictly fewer gpu.Run calls than the sum of
+// their job lists, because shared (kernel, grid, config) points are
+// computed once.
+func TestRunAllMemoizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ResetMetrics()
+	defer ResetMetrics()
+	p := Params{Scale: 1, Config: config.GTX480(), Dilute: 60, Workers: 2}
+	var sb strings.Builder
+	// fig-speedup runs suite x {baseline, vt}; fig-ideal-gap runs suite x
+	// {baseline, vt, ideal}: the baseline and vt columns overlap exactly.
+	for _, id := range []string{"fig-speedup", "fig-ideal-gap"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(p, &sb); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	m := Metrics()
+	if m.Executed >= m.Requests {
+		t.Fatalf("no memoization across experiments: %+v", m)
+	}
+	if m.CacheHits == 0 {
+		t.Fatalf("expected cache hits across overlapping experiments: %+v", m)
+	}
+}
+
 func TestRunManyPropagatesErrors(t *testing.T) {
 	p := testParams()
 	_, err := runMany(p, []job{{workload: "does-not-exist", variant: "x"}})

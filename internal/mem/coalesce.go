@@ -37,6 +37,9 @@ func BankConflictFactor(addrs []uint32, active simt.Mask, numBanks int) int {
 	if numBanks <= 0 {
 		return 1
 	}
+	if numBanks <= 64 && len(addrs) <= 64 {
+		return bankConflictSmall(addrs, active, numBanks)
+	}
 	banks := make(map[uint32][]uint32, numBanks)
 	max := 0
 	any := false
@@ -59,6 +62,46 @@ func BankConflictFactor(addrs []uint32, active simt.Mask, numBanks int) int {
 			if len(banks[bank]) > max {
 				max = len(banks[bank])
 			}
+		}
+	}
+	if !any {
+		return 0
+	}
+	if max == 0 {
+		return 1
+	}
+	return max
+}
+
+// bankConflictSmall is the allocation-free path for hardware-sized warps
+// and bank counts: stack arrays replace the per-call bank map. Duplicate
+// word addresses are deduplicated by scanning earlier lanes — the same
+// word always maps to the same bank, so word equality is exactly the
+// broadcast condition.
+func bankConflictSmall(addrs []uint32, active simt.Mask, numBanks int) int {
+	var counts [64]int32
+	max := 0
+	any := false
+	for lane := 0; lane < len(addrs); lane++ {
+		if !active.Has(lane) {
+			continue
+		}
+		any = true
+		word := addrs[lane] >> 2
+		dup := false
+		for j := 0; j < lane; j++ {
+			if active.Has(j) && addrs[j]>>2 == word {
+				dup = true // broadcast: same word in same bank is free
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		bank := word & uint32(numBanks-1)
+		counts[bank]++
+		if int(counts[bank]) > max {
+			max = int(counts[bank])
 		}
 	}
 	if !any {

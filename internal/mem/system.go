@@ -77,6 +77,38 @@ func NewSystem(cfg *config.GPUConfig, ev *event.Queue) *System {
 	return s
 }
 
+// BindLane reroutes the given SM's L1 event traffic through the supplied
+// scheduler (the SM's event lane). During the parallel engine's step
+// phase the lane buffers without locking; everything the L1 schedules is
+// committed to the shared queue in SM-index order afterwards.
+func (s *System) BindLane(sm int, sched event.Scheduler) { s.l1s[sm].sched = sched }
+
+// ShardStats gives every L1 a private counter shard so concurrent SM
+// steps never write the shared Stats. Counters are additive, so merge
+// order cannot change the totals; CollectStats folds them back.
+func (s *System) ShardStats() {
+	for _, c := range s.l1s {
+		if c.stats == &s.Stats {
+			c.stats = &Stats{}
+		}
+	}
+}
+
+// CollectStats folds any per-L1 shards into Stats and returns the totals.
+// Safe to call in either mode and more than once.
+func (s *System) CollectStats() Stats {
+	for _, c := range s.l1s {
+		if c.stats != &s.Stats {
+			s.Stats.L1Accesses += c.stats.L1Accesses
+			s.Stats.L1Hits += c.stats.L1Hits
+			s.Stats.L1MSHRMerges += c.stats.L1MSHRMerges
+			s.Stats.L1Rejects += c.stats.L1Rejects
+			*c.stats = Stats{}
+		}
+	}
+	return s.Stats
+}
+
 // AccessGlobal presents one coalesced line transaction from an SM. done
 // must be non-nil for reads and nil for writes. It reports false when the
 // transaction was rejected (L1 MSHRs full) and must be retried.
@@ -94,16 +126,24 @@ func (s *System) partitionOf(lineAddr uint32) *partition {
 }
 
 // l1Cache is one SM's private L1 data cache: write-through, write-evict
-// (no write-allocate), with MSHR merging, as in Fermi.
+// (no write-allocate), with MSHR merging, as in Fermi. Its issue-side
+// scheduling goes through sched (the shared queue by default, the owning
+// SM's event lane under the parallel engine) and its counters through
+// stats (the shared Stats by default, a private shard under the parallel
+// engine); response-side callbacks always run on the shared queue's
+// single-threaded event drain, so they use sys.ev directly.
 type l1Cache struct {
-	sys  *System
-	cfg  config.CacheConfig
-	tags *TagArray
-	mshr *mshrTable
+	sys   *System
+	cfg   config.CacheConfig
+	tags  *TagArray
+	mshr  *mshrTable
+	sched event.Scheduler
+	stats *Stats
 }
 
 func newL1(cfg *config.GPUConfig, sys *System) *l1Cache {
-	c := &l1Cache{sys: sys, cfg: cfg.L1D, mshr: newMSHRTable(cfg.L1D.MSHRs)}
+	c := &l1Cache{sys: sys, cfg: cfg.L1D, mshr: newMSHRTable(cfg.L1D.MSHRs),
+		sched: sys.ev, stats: &sys.Stats}
 	if cfg.L1D.Enabled {
 		c.tags = NewTagArray(cfg.L1D.Sets, cfg.L1D.Ways, cfg.L1D.LineSize)
 	}
@@ -112,41 +152,40 @@ func newL1(cfg *config.GPUConfig, sys *System) *l1Cache {
 
 func (c *l1Cache) access(lineAddr uint32, write bool, done func()) bool {
 	sys := c.sys
-	ev := sys.ev
 	if write {
-		sys.Stats.L1Accesses++
+		c.stats.L1Accesses++
 		if c.tags != nil {
 			c.tags.Invalidate(lineAddr) // write-evict
 		}
 		// Write-through: consume the downstream path; nothing waits.
 		part := sys.partitionOf(lineAddr)
-		ev.After(int64(sys.cfg.InterconnectDelay), func() {
+		c.sched.After(int64(sys.cfg.InterconnectDelay), func() {
 			part.access(lineAddr, true, nil)
 		})
 		return true
 	}
 
-	sys.Stats.L1Accesses++
+	c.stats.L1Accesses++
 	if c.tags != nil && c.tags.Probe(lineAddr) {
-		sys.Stats.L1Hits++
-		ev.After(int64(c.cfg.Latency), done)
+		c.stats.L1Hits++
+		c.sched.After(int64(c.cfg.Latency), done)
 		return true
 	}
 	primary, full := c.mshr.add(lineAddr, done)
 	if full {
-		sys.Stats.L1Rejects++
-		sys.Stats.L1Accesses-- // rejected transactions retry; count once
+		c.stats.L1Rejects++
+		c.stats.L1Accesses-- // rejected transactions retry; count once
 		return false
 	}
 	if !primary {
-		sys.Stats.L1MSHRMerges++
+		c.stats.L1MSHRMerges++
 		return true
 	}
 	part := sys.partitionOf(lineAddr)
-	ev.After(int64(sys.cfg.InterconnectDelay), func() {
+	c.sched.After(int64(sys.cfg.InterconnectDelay), func() {
 		part.access(lineAddr, false, func() {
 			// Response arrives back at the SM after the return trip.
-			ev.After(int64(sys.cfg.InterconnectDelay), func() {
+			sys.ev.After(int64(sys.cfg.InterconnectDelay), func() {
 				if c.tags != nil {
 					c.tags.Fill(lineAddr)
 				}

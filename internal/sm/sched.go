@@ -354,7 +354,7 @@ func (sc *scheduler) issue(w *warp.Warp) {
 	in := &code[pc]
 
 	sc.rfBankStall(w, in)
-	info := warp.Execute(w, in, s.Gmem, s.addrBuf)
+	info := warp.Execute(w, in, s.Gmem, s.addrBuf, s.Glog)
 	w.LastIssue = now
 	w.IssuedInstrs++
 	w.ThreadInstrs += int64(info.Lanes)
@@ -398,7 +398,7 @@ func (sc *scheduler) aluIssue(w *warp.Warp, in *isa.Instr) {
 	}
 	dst := in.Dst
 	w.SB.MarkPending(dst, false)
-	s.Ev.After(lat, func() { w.SB.ClearPending(dst) })
+	s.scheduleWB(lat, w, dst)
 }
 
 func (sc *scheduler) barrier(w *warp.Warp) {
@@ -430,7 +430,7 @@ func (sc *scheduler) memIssue(w *warp.Warp, in *isa.Instr, info warp.ExecInfo) {
 		if in.Op.IsLoad() && in.Dst != isa.RZ {
 			dst := in.Dst
 			w.SB.MarkPending(dst, false)
-			s.Ev.After(int64(s.Cfg.SMemLatency+f-1), func() { w.SB.ClearPending(dst) })
+			s.scheduleWB(int64(s.Cfg.SMemLatency+f-1), w, dst)
 		}
 		return
 	}

@@ -84,11 +84,16 @@ type lsuOp struct {
 type SM struct {
 	ID   int
 	Cfg  *config.GPUConfig
-	Ev   *event.Queue
+	Ev   *event.Lane // per-SM event lane over the shared queue
 	Mem  *mem.System
 	Gmem *mem.Backing
 
 	Ctl Controller
+
+	// Glog, when non-nil, defers global-memory lane loops so the parallel
+	// engine can commit them in SM-index order after the cycle barrier.
+	// Nil (the sequential default) executes them inline at issue.
+	Glog *warp.GmemLog
 
 	// Effective scheduling limits under the configured policy.
 	MaxCTAs    int
@@ -96,6 +101,11 @@ type SM struct {
 	MaxThreads int
 
 	Slots []*warp.Warp // warp slots; nil = free
+
+	// Fit reports whether a CTA with the given footprint can launch
+	// right now (capacity and scheduling limits). Built once in New so
+	// per-cycle dispatch avoids allocating a fresh closure.
+	Fit func(regs, smem, warps, threads int) bool
 
 	// Resident CTAs: active and (under VT) inactive.
 	Resident    []*warp.CTA
@@ -109,11 +119,109 @@ type SM struct {
 	sfuFreeAt  int64
 	smemFreeAt int64
 	lsuQueue   []*lsuOp
+	wb         wbWheel // short-latency writeback completions (SM-local)
 
 	Stats Stats
 
 	addrBuf []uint32
 	srcBuf  []isa.Reg
+}
+
+// wbEntry is one pending scoreboard clear.
+type wbEntry struct {
+	cycle int64
+	w     *warp.Warp
+	reg   isa.Reg
+}
+
+// wbWheel is a timing wheel for the SM's own fixed-latency writebacks (ALU,
+// SFU, shared-memory loads). These completions touch only the issuing
+// warp's scoreboard, so routing them through the shared event queue bought
+// nothing but heap churn and a closure allocation per issued instruction;
+// the wheel keeps them SM-local, which also lets the parallel engine retire
+// them without locking. Completions commute with every same-cycle event
+// (nothing reads a scoreboard between event callbacks), so draining at the
+// start of the SM's cycle is timing-identical to the old queue events.
+type wbWheel struct {
+	slots   [][]wbEntry // ring, indexed by cycle & mask
+	mask    int64
+	drained int64 // completions at cycles <= drained have been applied
+	pending int
+}
+
+func (wb *wbWheel) init(maxLat int) {
+	size := int64(2)
+	for size < int64(maxLat)+2 {
+		size <<= 1
+	}
+	wb.slots = make([][]wbEntry, size)
+	wb.mask = size - 1
+}
+
+// schedule registers a scoreboard clear for reg of w at the given cycle.
+// Cycles at or before the drain point are pulled to the next drain, which
+// matches the old Queue.After(0, ...) behavior of firing before the next
+// cycle's scheduling decisions.
+func (wb *wbWheel) schedule(cycle int64, w *warp.Warp, reg isa.Reg) {
+	if cycle <= wb.drained {
+		cycle = wb.drained + 1
+	}
+	slot := cycle & wb.mask
+	wb.slots[slot] = append(wb.slots[slot], wbEntry{cycle: cycle, w: w, reg: reg})
+	wb.pending++
+}
+
+// capacity reports whether the wheel can represent a completion `delay`
+// cycles out without aliasing.
+func (wb *wbWheel) capacity() int64 { return wb.mask - 1 }
+
+// drainTo applies every completion due at or before now.
+func (wb *wbWheel) drainTo(now int64) {
+	if wb.pending == 0 {
+		wb.drained = now
+		return
+	}
+	stop := now
+	if max := wb.drained + wb.mask + 1; stop > max {
+		stop = max // every slot visited once covers the whole ring
+	}
+	for c := wb.drained + 1; c <= stop; c++ {
+		slot := c & wb.mask
+		entries := wb.slots[slot]
+		if len(entries) == 0 {
+			continue
+		}
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.cycle <= now {
+				e.w.SB.ClearPending(e.reg)
+				wb.pending--
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		wb.slots[slot] = kept
+	}
+	wb.drained = now
+}
+
+// next returns the earliest pending completion cycle, ok=false when none.
+func (wb *wbWheel) next() (int64, bool) {
+	if wb.pending == 0 {
+		return 0, false
+	}
+	min := int64(-1)
+	for c := wb.drained + 1; c <= wb.drained+wb.mask+1; c++ {
+		for _, e := range wb.slots[c&wb.mask] {
+			if min < 0 || e.cycle < min {
+				min = e.cycle
+			}
+		}
+		if min >= 0 {
+			return min, true
+		}
+	}
+	return 0, false
 }
 
 // New builds an SM under the configuration; numKernels sizes the
@@ -129,7 +237,7 @@ func New(id int, cfg *config.GPUConfig, ev *event.Queue, msys *mem.System,
 	s := &SM{
 		ID:         id,
 		Cfg:        cfg,
-		Ev:         ev,
+		Ev:         event.NewLane(ev),
 		Mem:        msys,
 		Gmem:       gmem,
 		Ctl:        ctl,
@@ -140,12 +248,40 @@ func New(id int, cfg *config.GPUConfig, ev *event.Queue, msys *mem.System,
 		addrBuf:    make([]uint32, cfg.WarpSize),
 		srcBuf:     make([]isa.Reg, 8),
 	}
+	s.Fit = func(regs, smem, warps, threads int) bool {
+		return s.HasCapacityFor(regs, smem) && s.CanActivateFor(warps, threads)
+	}
 	s.Stats.IssuedPerKernel = make([]int64, numKernels)
 	for i := 0; i < cfg.NumSchedulers; i++ {
 		s.schedulers = append(s.schedulers, newScheduler(s, i))
 	}
+	maxLat := cfg.ALULatency
+	if cfg.SFULatency > maxLat {
+		maxLat = cfg.SFULatency
+	}
+	if l := cfg.SMemLatency + cfg.WarpSize; l > maxLat {
+		maxLat = l // shared-memory latency grows with bank conflicts
+	}
+	s.wb.init(maxLat)
 	return s
 }
+
+// scheduleWB registers a scoreboard clear for dst after lat cycles on the
+// SM-local wheel, falling back to the event queue for latencies beyond the
+// wheel's horizon (possible only with out-of-range configs).
+func (s *SM) scheduleWB(lat int64, w *warp.Warp, dst isa.Reg) {
+	if lat <= s.wb.capacity() {
+		s.wb.schedule(s.Ev.Now()+lat, w, dst)
+		return
+	}
+	s.Ev.After(lat, func() { w.SB.ClearPending(dst) })
+}
+
+// NextWake returns the earliest cycle at which this SM's local wheel will
+// change state, ok=false when it holds nothing. The engine's idle-skip
+// takes the minimum over the shared queue and every SM's wheel so local
+// writebacks are never skipped past.
+func (s *SM) NextWake() (int64, bool) { return s.wb.next() }
 
 // HasCapacityFor reports whether a CTA needing the given registers and
 // shared memory fits on the SM — the capacity-limit check that Virtual
@@ -245,8 +381,30 @@ func (s *SM) Idle() bool { return len(s.Resident) == 0 }
 // Cycle advances the SM by one core cycle. It returns true when any warp
 // instruction issued (used by the engine's idle-skip heuristic).
 func (s *SM) Cycle() bool {
+	s.CtlPhase()
+	return s.StepPhase()
+}
+
+// CtlPhase is the serial half of a cycle: it retires due local writebacks
+// and runs the CTA-scheduling controller, which may touch GPU-shared state
+// (the grid dispenser, controller-wide statistics). The parallel engine
+// runs CtlPhase for every SM in index order on one thread; this is exactly
+// the order the sequential engine interleaves them in, and no SM's step
+// phase mutates anything another SM's controller reads, so decisions are
+// identical (see docs/ARCHITECTURE.md, "Parallel engine & determinism").
+func (s *SM) CtlPhase() {
 	s.Stats.Cycles++
+	s.wb.drainTo(s.Ev.Now())
 	s.Ctl.Cycle(s)
+}
+
+// StepPhase is the shardable half of a cycle: LSU streaming and warp
+// issue. It touches only SM-local state plus three buffered channels — the
+// SM's event lane, its L1's stat shard, and its global-memory log — so
+// shards of SMs step concurrently and the engine commits the buffers in
+// SM-index order after the barrier. Returns true when any warp instruction
+// issued.
+func (s *SM) StepPhase() bool {
 	s.lsuTick()
 
 	issued := false

@@ -115,14 +115,30 @@ func DefaultExperimentParams() ExperimentParams { return harness.DefaultParams()
 // Experiments returns every experiment in paper order.
 func Experiments() []Experiment { return harness.Experiments() }
 
+// GetExperiment returns the experiment with the given ID.
+func GetExperiment(id string) (Experiment, error) { return harness.Get(id) }
+
 // RunExperiment executes one experiment by ID, writing its tables to w.
 func RunExperiment(id string, p ExperimentParams, w io.Writer) error {
 	e, err := harness.Get(id)
 	if err != nil {
 		return err
 	}
-	return e.Run(p, w)
+	return harness.RunOne(e, p, w)
 }
+
+// RunMetrics counts the simulation work the harness has performed: how
+// many runs experiments requested, how many gpu.Run calls actually
+// executed (the rest were memo-cache hits), and the simulated cycles of
+// the executed runs.
+type RunMetrics = harness.RunMetrics
+
+// ExperimentMetrics snapshots the harness work counters.
+func ExperimentMetrics() RunMetrics { return harness.Metrics() }
+
+// ResetExperimentMetrics zeroes the work counters and empties the
+// harness memo cache.
+func ResetExperimentMetrics() { harness.ResetMetrics() }
 
 // RunAllExperiments regenerates every table and figure.
 func RunAllExperiments(p ExperimentParams, w io.Writer) error {
