@@ -1,0 +1,78 @@
+// Command benchcheck compares a vtbench -json report against a committed
+// baseline and exits nonzero when throughput regresses beyond a tolerance.
+// CI runs it after the benchmark step so a PR that slows the simulator by
+// more than the allowed fraction fails visibly:
+//
+//	vtbench -json current.json ...
+//	benchcheck -baseline BENCH_sched.json -current current.json -tolerance 0.30
+//
+// Only total simcycles_per_sec is compared: per-experiment rates on small
+// diluted runs are too noisy to gate on. Machine-speed differences between
+// the committing host and CI runners are absorbed by the tolerance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the subset of vtbench's -json document benchcheck reads.
+type report struct {
+	SimCycles       int64   `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"simcycles_per_sec"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "committed benchmark record (vtbench -json output)")
+		current   = flag.String("current", "", "freshly measured report to check")
+		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional regression of simcycles_per_sec")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if base.SimCyclesPerSec <= 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: baseline %s has no simcycles_per_sec\n", *baseline)
+		os.Exit(2)
+	}
+	if cur.SimCycles == 0 {
+		// An all-cache-hit run measured nothing; refuse to pass vacuously.
+		fmt.Fprintf(os.Stderr, "benchcheck: current report simulated 0 cycles (cache-only run?)\n")
+		os.Exit(2)
+	}
+	floor := base.SimCyclesPerSec * (1 - *tolerance)
+	ratio := cur.SimCyclesPerSec / base.SimCyclesPerSec
+	fmt.Printf("benchcheck: baseline %.0f current %.0f simcycles/s (%.2fx, floor %.0f)\n",
+		base.SimCyclesPerSec, cur.SimCyclesPerSec, ratio, floor)
+	if cur.SimCyclesPerSec < floor {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: regression beyond %.0f%% tolerance\n", *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: OK")
+}

@@ -63,6 +63,7 @@ func main() {
 		out        = flag.String("out", "", "write output to file instead of stdout")
 		csvDir     = flag.String("csv", "", "also write every table as CSV into this directory")
 		jsonPath   = flag.String("json", "", "write per-experiment wall time and simcycles/s to this file")
+		cacheDir   = flag.String("cachedir", "", "persist memoized run results in this directory across invocations")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -109,6 +110,7 @@ func main() {
 	p.Scale = *scale
 	p.Dilute = *dilute
 	p.Workers = *workers
+	p.CacheDir = *cacheDir
 
 	var todo []vtsim.Experiment
 	if *run == "all" {

@@ -206,13 +206,17 @@ func (v *Controller) activateCTA(s *sm.SM, c *warp.CTA, st *smState) {
 		v.Stats.SwapsIn++
 		v.Stats.SwapStallCycles += lat
 		// Occupy the slots now; warps become schedulable when the
-		// restore completes.
+		// restore completes. Activate classified the warps as active, so
+		// re-derive their cached state after flipping to restoring.
 		s.Activate(c)
 		c.State = warp.CTARestoring
+		s.NoteCTAStateChanged(c)
 		v.trace(s, c, from, warp.CTARestoring)
 		s.Ev.After(lat, func() {
+			s.WakeUp()
 			c.State = warp.CTAActive
 			c.ActivatedAt = s.Ev.Now()
+			s.NoteCTAStateChanged(c)
 			v.trace(s, c, warp.CTARestoring, warp.CTAActive)
 		})
 		return
@@ -299,13 +303,52 @@ func (v *Controller) swapOut(s *sm.SM) {
 		v.countInactive(s)
 		// Activate a replacement as soon as the context-buffer port
 		// frees.
-		s.Ev.After(lat, func() { v.activate(s) })
+		s.Ev.After(lat, func() {
+			s.WakeUp()
+			v.activate(s)
+		})
 		return // one swap per SM at a time
 	}
 	if minElig > 0 && st.wakeAt != minElig {
 		st.wakeAt = minElig
-		s.Ev.At(minElig, func() {}) // wake the idle-skip engine
+		s.Ev.At(minElig, s.WakeUp) // wake the idle-skip engine
 	}
+}
+
+// CanSleep vetoes per-SM fast-forward while a controller decision is
+// actionable without any external event: a ready CTA that could be
+// activated next cycle, or a stalled active CTA that could be swapped out.
+// Everything else the controller reacts to arrives through a waking event
+// (load completions, port-free and restore-complete callbacks, the
+// min-residency eligibility wakeup scheduled by swapOut), so sleeping is
+// indistinguishable from running the controller every cycle.
+func (v *Controller) CanSleep(s *sm.SM) bool {
+	c := v.pickReady(s)
+	if c == nil {
+		// Admission cannot change while the SM is quiescent, and with no
+		// ready CTA neither activation nor swap-out can proceed.
+		return true
+	}
+	st := &v.perSM[s.ID]
+	now := s.Ev.Now()
+	portFree := st.freePort(now) >= 0
+	if s.CanActivateCTA(c) && (c.State == warp.CTAPending || portFree) {
+		return false
+	}
+	if portFree {
+		for _, a := range s.Resident {
+			if a.State != warp.CTAActive {
+				continue
+			}
+			if now < a.ActivatedAt+int64(s.Cfg.VT.MinResidencyCycles) {
+				continue // swapOut's minElig wakeup covers this crossing
+			}
+			if v.stalledEnough(s, a, a.Launch.Kernel.Code) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (v *Controller) countInactive(s *sm.SM) {

@@ -26,6 +26,14 @@ type engine struct {
 	ev       *event.Queue
 	parallel bool
 
+	// allowSleep enables per-SM fast-forward: an SM that is quiescent at
+	// the end of its cycle goes to sleep and is skipped — controller phase
+	// included — until an event wakes it or its local writeback wheel
+	// comes due. Skipped spans are charged through AccountSkipped at wake,
+	// so results are identical to simulating every cycle.
+	allowSleep bool
+	ran        []bool // per cycle: SMs that ran (were not asleep)
+
 	// Parallel-mode machinery.
 	glogs   []*warp.GmemLog
 	backing *mem.Backing
@@ -38,9 +46,10 @@ type engine struct {
 
 // newEngine prepares the loop. workers <= 1 selects the sequential mode.
 func newEngine(sms []*sm.SM, ev *event.Queue, msys *mem.System,
-	backing *mem.Backing, workers int) *engine {
+	backing *mem.Backing, workers int, allowSleep bool) *engine {
 
-	e := &engine{sms: sms, ev: ev}
+	e := &engine{sms: sms, ev: ev, allowSleep: allowSleep,
+		ran: make([]bool, len(sms))}
 	if workers <= 1 || len(sms) <= 1 {
 		return e
 	}
@@ -85,8 +94,14 @@ func (e *engine) worker(k int) {
 			}()
 			issued := false
 			for i := k; i < len(e.sms); i += len(e.start) {
-				if e.sms[i].StepPhase() {
+				if !e.ran[i] {
+					continue
+				}
+				s := e.sms[i]
+				if s.StepPhase() {
 					issued = true
+				} else if e.allowSleep {
+					s.TrySleep()
 				}
 			}
 			e.issued[k] = issued
@@ -104,11 +119,20 @@ func (e *engine) shutdown() {
 // cycle advances every SM by one core cycle and reports whether any warp
 // instruction issued anywhere.
 func (e *engine) cycle() bool {
+	now := e.ev.Now()
 	if !e.parallel {
 		issued := false
 		for _, s := range e.sms {
+			if s.Asleep() {
+				if !s.WheelWakeDue(now) {
+					continue
+				}
+				s.WakeUp()
+			}
 			if s.Cycle() {
 				issued = true
+			} else if e.allowSleep {
+				s.TrySleep()
 			}
 		}
 		return issued
@@ -116,8 +140,18 @@ func (e *engine) cycle() bool {
 
 	// Serial controller phase, SM-index order, with event lanes buffering
 	// so controller wakeups interleave into the queue at exactly the
-	// sequential engine's position.
-	for _, s := range e.sms {
+	// sequential engine's position. Sleeping SMs skip the whole cycle
+	// (their controllers could change nothing: admission and swap outcomes
+	// are frozen while the SM is quiescent).
+	for i, s := range e.sms {
+		if s.Asleep() {
+			if !s.WheelWakeDue(now) {
+				e.ran[i] = false
+				continue
+			}
+			s.WakeUp()
+		}
+		e.ran[i] = true
 		s.Ev.StartBuffering()
 		s.CtlPhase()
 	}
@@ -135,9 +169,14 @@ func (e *engine) cycle() bool {
 		}
 	}
 
-	// Commit buffered cross-SM effects in ascending SM-index order.
+	// Commit buffered cross-SM effects in ascending SM-index order. SMs
+	// that slept through the cycle never started buffering and logged
+	// nothing.
 	issued := false
 	for i, s := range e.sms {
+		if !e.ran[i] {
+			continue
+		}
 		s.Ev.Commit()
 		e.glogs[i].Flush(e.backing)
 	}

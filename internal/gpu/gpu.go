@@ -144,10 +144,18 @@ type Options struct {
 	// run so callers can verify kernel outputs.
 	KeepBacking func(*mem.Backing)
 	// DisableIdleSkip forces the engine to simulate every cycle instead
-	// of fast-forwarding across quiescent stall periods. The results
-	// must be identical either way (tested); this exists to verify that
-	// property and to debug the skip heuristic.
+	// of fast-forwarding across quiescent stall periods — both the
+	// whole-GPU skip and the per-SM fast-forward. The results must be
+	// identical either way (tested); this exists to verify that property
+	// and to debug the skip heuristic.
 	DisableIdleSkip bool
+	// DisableIssueFastPath routes warp-issue selection, stall
+	// classification, and quiescence detection through the original full
+	// scans instead of the incrementally maintained ready sets. The
+	// cached state is kept up to date either way, so results must be
+	// bit-identical; like DisableIdleSkip this exists to enforce and
+	// debug that equivalence.
+	DisableIssueFastPath bool
 	// SampleInterval, when positive, records an occupancy/IPC sample
 	// every that-many cycles into Result.Timeline.
 	SampleInterval int64
@@ -180,6 +188,7 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		if err := l.Validate(); err != nil {
 			return nil, err
 		}
+		l.Kernel.EnsureDecoded()
 		fp := cta.ComputeFootprint(l, &cfg)
 		if fp.Regs > cfg.RegFileSize || fp.SMem > cfg.SharedMemPerSM {
 			return nil, fmt.Errorf("gpu: kernel %q: one CTA exceeds SM capacity", l.Kernel.Name)
@@ -211,6 +220,7 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 	sms := make([]*sm.SM, cfg.NumSMs)
 	for i := range sms {
 		sms[i] = sm.New(i, &cfg, ev, msys, backing, len(launches), ctl)
+		sms[i].DisableFastPath = opts.DisableIssueFastPath
 	}
 
 	maxCycles := cfg.MaxCycles
@@ -246,7 +256,8 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		})
 	}
 
-	eng := newEngine(sms, ev, msys, backing, resolveWorkers(opts.Parallelism, cfg.NumSMs))
+	eng := newEngine(sms, ev, msys, backing,
+		resolveWorkers(opts.Parallelism, cfg.NumSMs), !opts.DisableIdleSkip)
 	defer eng.shutdown()
 
 	cycle := int64(0)
@@ -274,6 +285,9 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 			if evNext, ok := eng.nextEvent(); ok && evNext > next {
 				next = evNext
 				for _, s := range sms {
+					if s.Asleep() {
+						continue // charged at wake, from sleptFrom
+					}
 					s.AccountSkipped(next - cycle - 1)
 				}
 			} else if !ok {
@@ -295,6 +309,12 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 			return nil, fmt.Errorf("gpu: kernel %q exceeded %d cycles",
 				launches[0].Kernel.Name, maxCycles)
 		}
+	}
+
+	// SMs still in per-SM fast-forward owe statistics for their final
+	// skipped span.
+	for _, s := range sms {
+		s.WakeUp()
 	}
 
 	name := launches[0].Kernel.Name

@@ -1,0 +1,64 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestStallAccountingInvariant checks that the issue-slot samples are
+// conserved: every scheduler contributes exactly one sample per cycle —
+// issued, one of the stall buckets, or idle — whether the cycle was
+// simulated or fast-forwarded. Catches double- or under-counting when
+// AccountSkipped and the cached stall classification interact.
+func TestStallAccountingInvariant(t *testing.T) {
+	policies := []config.Policy{
+		config.PolicyBaseline, config.PolicyVT,
+		config.PolicyIdeal, config.PolicyFullSwap,
+	}
+	schedulers := []config.SchedulerKind{
+		config.SchedGTO, config.SchedLRR, config.SchedTwoLevel,
+	}
+	check := func(t *testing.T, res *Result) {
+		t.Helper()
+		slots := res.SM.SlotIssued + res.SM.SlotStallMem + res.SM.SlotStallALU +
+			res.SM.SlotStallBar + res.SM.SlotStallStr + res.SM.SlotIdle
+		want := res.Cycles * int64(res.Schedulers) * int64(res.NumSMs)
+		if slots != want {
+			t.Fatalf("slot samples %d != cycles %d x schedulers %d x SMs %d = %d"+
+				" (issued %d mem %d alu %d bar %d str %d idle %d)",
+				slots, res.Cycles, res.Schedulers, res.NumSMs, want,
+				res.SM.SlotIssued, res.SM.SlotStallMem, res.SM.SlotStallALU,
+				res.SM.SlotStallBar, res.SM.SlotStallStr, res.SM.SlotIdle)
+		}
+	}
+	for _, p := range policies {
+		for _, sched := range schedulers {
+			t.Run(p.String()+"/"+sched.String(), func(t *testing.T) {
+				cfg := config.Small().WithPolicy(p)
+				cfg.Scheduler = sched
+				const ctas, block = 16, 64
+				res, err := Run(mixedLaunch(t, ctas, block), cfg, Options{
+					InitMemory: initVec(ctas * block),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(t, res)
+			})
+		}
+	}
+	// The invariant must also hold when every cycle is simulated (no
+	// fast-forward contribution at all).
+	t.Run("no-idle-skip", func(t *testing.T) {
+		cfg := config.Small().WithPolicy(config.PolicyVT)
+		res, err := Run(mixedLaunch(t, 16, 64), cfg, Options{
+			InitMemory:      initVec(16 * 64),
+			DisableIdleSkip: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, res)
+	})
+}

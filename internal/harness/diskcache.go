@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gpu"
+)
+
+// diskCacheVersion invalidates every on-disk entry when the fingerprint
+// scheme or the Result layout changes meaning. Bump it whenever a change
+// could make an old cached Result incorrect for the same fingerprint
+// (new statistics fed by simulation state, changed kernel generators,
+// reinterpreted config fields).
+const diskCacheVersion = 1
+
+// diskEntry is the JSON envelope of one cached run. The full fingerprint
+// is stored (not just its hash) so version or scheme mismatches are
+// detected by content, never assumed from the filename.
+type diskEntry struct {
+	Version     int         `json:"version"`
+	Fingerprint string      `json:"fingerprint"`
+	Result      *gpu.Result `json:"result"`
+}
+
+// diskCachePath maps a fingerprint to its cache file.
+func diskCachePath(dir, fp string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s", diskCacheVersion, fp)))
+	return filepath.Join(dir, "vtsim-"+hex.EncodeToString(sum[:16])+".json")
+}
+
+// diskLoad returns the cached Result for the fingerprint, or nil. All
+// failures (missing file, corrupt JSON, stale version, hash collision)
+// are simply misses: the caller re-simulates and overwrites.
+func diskLoad(dir, fp string) *gpu.Result {
+	b, err := os.ReadFile(diskCachePath(dir, fp))
+	if err != nil {
+		return nil
+	}
+	var e diskEntry
+	if json.Unmarshal(b, &e) != nil ||
+		e.Version != diskCacheVersion || e.Fingerprint != fp || e.Result == nil {
+		return nil
+	}
+	return e.Result
+}
+
+// diskStore writes the Result for the fingerprint, creating the directory
+// if needed. Best-effort: a cache that cannot be written must not fail
+// the run, so errors are swallowed. The temp-file + rename dance keeps
+// concurrent invocations from reading torn entries.
+func diskStore(dir, fp string, res *gpu.Result) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	b, err := json.Marshal(diskEntry{Version: diskCacheVersion, Fingerprint: fp, Result: res})
+	if err != nil {
+		return
+	}
+	path := diskCachePath(dir, fp)
+	tmp, err := os.CreateTemp(dir, ".vtsim-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if os.Rename(name, path) != nil {
+		os.Remove(name)
+	}
+}

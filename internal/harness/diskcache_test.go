@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestDiskCacheRoundTrip verifies that a memoized run persisted to disk is
+// served back on a later invocation (simulated by resetting the in-memory
+// cache) as a cache hit, bit-identical to the freshly computed Result.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	defer ResetMetrics()
+	p := Params{Scale: 1, Config: config.Small(), Dilute: 60, CacheDir: t.TempDir()}
+	j := job{workload: "vecadd"}
+
+	ResetMetrics()
+	fresh, err := memoRun(p, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := Metrics(); m.Executed != 1 || m.SimCycles == 0 {
+		t.Fatalf("first run: executed=%d simcycles=%d, want a real simulation", m.Executed, m.SimCycles)
+	}
+	files, err := filepath.Glob(filepath.Join(p.CacheDir, "vtsim-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache dir holds %d entries (err=%v), want 1", len(files), err)
+	}
+
+	ResetMetrics() // a fresh process: only the disk knows the result
+	cached, err := memoRun(p, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := Metrics(); m.Executed != 0 || m.CacheHits != 1 || m.SimCycles != 0 {
+		t.Fatalf("second run: executed=%d hits=%d simcycles=%d, want disk hit only",
+			m.Executed, m.CacheHits, m.SimCycles)
+	}
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Fatalf("disk round-trip altered the result:\nfresh:  %+v\ncached: %+v", fresh, cached)
+	}
+}
+
+// TestDiskCacheVersionInvalidation verifies stale-envelope rejection: an
+// entry whose version or fingerprint does not match is a miss, not a wrong
+// answer.
+func TestDiskCacheVersionInvalidation(t *testing.T) {
+	defer ResetMetrics()
+	p := Params{Scale: 1, Config: config.Small(), Dilute: 60, CacheDir: t.TempDir()}
+	j := job{workload: "vecadd"}
+
+	ResetMetrics()
+	if _, err := memoRun(p, j); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(p.CacheDir, "vtsim-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("cache dir holds %d entries, want 1", len(files))
+	}
+	// Corrupt the envelope: a version bump must read as a miss.
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], append([]byte(nil),
+		[]byte(`{"version":-1,`+string(b[len(`{"version":1,`):]))...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ResetMetrics()
+	if _, err := memoRun(p, j); err != nil {
+		t.Fatal(err)
+	}
+	if m := Metrics(); m.Executed != 1 {
+		t.Fatalf("stale entry was served: executed=%d, want re-simulation", m.Executed)
+	}
+}

@@ -31,6 +31,11 @@ type Params struct {
 	// Dilute divides every grid size by this factor (minimum 8 CTAs);
 	// used by tests to run experiments quickly. <=1 means full size.
 	Dilute int
+	// CacheDir, when non-empty, persists memoized run results on disk
+	// keyed by the same content fingerprint as the in-memory cache, so
+	// repeated invocations (profiling, bench re-runs, CI) skip
+	// already-simulated points. See diskcache.go.
+	CacheDir string
 }
 
 // DefaultParams returns the evaluation defaults.
@@ -158,10 +163,13 @@ func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
 	sem := make(chan struct{}, p.workers())
 	var wg sync.WaitGroup
 	for _, j := range jobs {
+		// Take the semaphore slot before spawning, so at most `workers`
+		// goroutines exist at a time (a 590-job RunAll used to park
+		// hundreds of them on this channel).
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			var res *gpu.Result
 			var err error

@@ -8,6 +8,7 @@ package isa
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Reg names a per-thread 32-bit architectural register, R0..R254.
@@ -26,6 +27,29 @@ func (r Reg) String() string {
 		return "RZ"
 	}
 	return fmt.Sprintf("R%d", r)
+}
+
+// RegMask is a 256-bit register bitset: the scoreboard representation of
+// outstanding writes and, pre-decoded on each instruction, the registers an
+// instruction reads and writes. Keeping both sides as masks turns the
+// per-issue hazard probe into two ANDs.
+type RegMask [4]uint64
+
+// Set adds register r to the mask.
+func (m *RegMask) Set(r Reg) { m[r>>6] |= 1 << (r & 63) }
+
+// Clear removes register r from the mask.
+func (m *RegMask) Clear(r Reg) { m[r>>6] &^= 1 << (r & 63) }
+
+// Has reports whether register r is in the mask.
+func (m *RegMask) Has(r Reg) bool { return m[r>>6]&(1<<(r&63)) != 0 }
+
+// Any reports whether the mask is non-empty.
+func (m *RegMask) Any() bool { return m[0]|m[1]|m[2]|m[3] != 0 }
+
+// Intersects reports whether the masks share a register.
+func (m *RegMask) Intersects(o *RegMask) bool {
+	return m[0]&o[0]|m[1]&o[1]|m[2]&o[2]|m[3]&o[3] != 0
 }
 
 // Opcode enumerates the instruction operations.
@@ -209,6 +233,52 @@ type Instr struct {
 	UseImm bool
 	Target int32 // branch target PC
 	Reconv int32 // reconvergence PC for OpBra
+
+	// Pre-decoded issue metadata, filled by Decode (normally through
+	// Kernel.EnsureDecoded at run setup). The scheduler's per-cycle hazard
+	// probe reduces to mask intersections instead of re-deriving the
+	// operand list; consumers must check Decoded and fall back to the
+	// operand-walking path for hand-built instructions.
+	SrcMask  RegMask   // registers read (deduplicated; RZ excluded)
+	DstMask  RegMask   // register written (empty when none or RZ)
+	HazMask  RegMask   // SrcMask | DstMask: the scoreboard probe set
+	SrcList  [3]Reg    // registers read in operand order, duplicates kept
+	NSrc     uint8     // live entries of SrcList
+	ExecUnit UnitClass // cached Op.Unit()
+	Decoded  bool
+}
+
+// Decode fills the pre-decoded issue metadata. SrcList preserves operand
+// order and duplicates (a register read twice costs two operand-collector
+// reads, which the register-file bank model charges for); the masks
+// deduplicate, which is harmless for hazard detection.
+func (in *Instr) Decode() {
+	var buf [3]Reg
+	srcs := in.SrcRegs(buf[:0])
+	in.NSrc = uint8(copy(in.SrcList[:], srcs))
+	in.SrcMask = RegMask{}
+	for _, r := range srcs {
+		in.SrcMask.Set(r)
+	}
+	in.DstMask = RegMask{}
+	if in.Op.HasDst() && in.Dst != RZ {
+		in.DstMask.Set(in.Dst)
+	}
+	in.HazMask = in.SrcMask
+	for i, d := range in.DstMask {
+		in.HazMask[i] |= d
+	}
+	in.ExecUnit = in.Op.Unit()
+	in.Decoded = true
+}
+
+// Unit returns the execution unit class serving the instruction, from the
+// pre-decoded cache when available.
+func (in *Instr) Unit() UnitClass {
+	if in.Decoded {
+		return in.ExecUnit
+	}
+	return in.Op.Unit()
 }
 
 // SrcRegs appends the source registers the instruction reads to dst and
@@ -294,6 +364,26 @@ type Kernel struct {
 	Code      []Instr
 	NumRegs   int // architectural registers per thread
 	SMemBytes int // static shared memory per CTA
+}
+
+// decodeMu serializes EnsureDecoded across concurrent simulations that
+// share a kernel. The instruction fields are written at most once (the
+// first EnsureDecoded); every later caller observes Decoded under the same
+// lock, so lock-free readers inside a run that called EnsureDecoded first
+// never race with a writer.
+var decodeMu sync.Mutex
+
+// EnsureDecoded pre-decodes every instruction's issue metadata in place.
+// gpu.RunMulti calls it once per launch before simulation starts; it is
+// idempotent and safe for kernels shared between concurrent runs.
+func (k *Kernel) EnsureDecoded() {
+	decodeMu.Lock()
+	defer decodeMu.Unlock()
+	for i := range k.Code {
+		if !k.Code[i].Decoded {
+			k.Code[i].Decode()
+		}
+	}
 }
 
 // Launch binds a kernel to a grid and its runtime parameters.

@@ -1,6 +1,10 @@
 package mem
 
-import "repro/internal/simt"
+import (
+	"math/bits"
+
+	"repro/internal/simt"
+)
 
 // CoalesceLines computes the distinct memory lines touched by the active
 // lanes of a warp access, in first-touch order. addrs holds the per-lane
@@ -79,18 +83,24 @@ func BankConflictFactor(addrs []uint32, active simt.Mask, numBanks int) int {
 // word always maps to the same bank, so word equality is exactly the
 // broadcast condition.
 func bankConflictSmall(addrs []uint32, active simt.Mask, numBanks int) int {
+	// Distinct words chain per bank (head/next hold index+1, 0 = end), so
+	// the broadcast check scans only same-bank words — typically one or two
+	// — instead of every earlier active lane.
 	var counts [64]int32
+	var words [64]uint32
+	var head, next [64]int16
+	n := int16(0)
 	max := 0
 	any := false
-	for lane := 0; lane < len(addrs); lane++ {
-		if !active.Has(lane) {
-			continue
-		}
+	m := active & simt.FullMask(len(addrs))
+	for ; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(uint64(m))
 		any = true
 		word := addrs[lane] >> 2
+		bank := word & uint32(numBanks-1)
 		dup := false
-		for j := 0; j < lane; j++ {
-			if active.Has(j) && addrs[j]>>2 == word {
+		for i := head[bank]; i != 0; i = next[i-1] {
+			if words[i-1] == word {
 				dup = true // broadcast: same word in same bank is free
 				break
 			}
@@ -98,7 +108,10 @@ func bankConflictSmall(addrs []uint32, active simt.Mask, numBanks int) int {
 		if dup {
 			continue
 		}
-		bank := word & uint32(numBanks-1)
+		words[n] = word
+		next[n] = head[bank]
+		head[bank] = n + 1
+		n++
 		counts[bank]++
 		if int(counts[bank]) > max {
 			max = int(counts[bank])

@@ -1,6 +1,8 @@
 package sm
 
 import (
+	"math/bits"
+
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -20,6 +22,14 @@ type scheduler struct {
 
 	group   []*warp.Warp // two-level: active fetch group
 	groupRR int          // two-level: round-robin cursor within the group
+
+	// Counts of owned warps by cached issue classification, maintained by
+	// SM.noteClass. They replace the full-scan stall classification when
+	// the fast path is enabled.
+	nReady int
+	nMem   int
+	nALU   int
+	nBar   int
 }
 
 func newScheduler(s *SM, id int) *scheduler {
@@ -56,7 +66,7 @@ func (sc *scheduler) schedulable(w *warp.Warp) (ok bool, blocked warp.Blocked, s
 	}
 	// Structural hazards.
 	now := s.Ev.Now()
-	switch in.Op.Unit() {
+	switch in.Unit() {
 	case isa.UnitSFU:
 		if now < s.sfuFreeAt {
 			return false, warp.BlockedNot, true
@@ -85,11 +95,36 @@ func older(a, b *warp.Warp) bool {
 	return a.IdxInCTA < b.IdxInCTA
 }
 
+// structural reports whether the warp's next instruction is blocked only
+// by execution-unit availability this cycle. The caller guarantees the
+// warp is otherwise ready (cached BlockedNot), so the SIMT stack has a
+// current instruction.
+func (sc *scheduler) structural(w *warp.Warp) bool {
+	s := sc.sm
+	pc, _, _ := w.Stack.Current()
+	in := &w.CTA.Launch.Kernel.Code[pc]
+	now := s.Ev.Now()
+	switch in.Unit() {
+	case isa.UnitSFU:
+		return now < s.sfuFreeAt
+	case isa.UnitMem:
+		if in.Op.IsGlobal() {
+			return !s.lsuHasRoom()
+		}
+		return now < s.smemFreeAt
+	}
+	return false
+}
+
 // classifyStall records one stall sample for this scheduler based on the
 // current warp states, weighted by n cycles. Used both for a no-issue
 // cycle (n=1) and for cycles the engine fast-forwards across (the SM is
 // quiescent, so the classification is constant over the skipped span).
 func (sc *scheduler) classifyStall(n int64) {
+	if !sc.sm.DisableFastPath {
+		sc.classifyStallFast(n)
+		return
+	}
 	s := sc.sm
 	var sawMem, sawALU, sawBar, sawStruct, sawAny bool
 	for slot := sc.id; slot < len(s.Slots); slot += len(s.schedulers) {
@@ -129,6 +164,113 @@ func (sc *scheduler) classifyStall(n int64) {
 	}
 }
 
+// classifyStallFast is classifyStall driven by the cached per-warp
+// classification counters instead of a slot scan. The switch mirrors the
+// slow version exactly, including its quirk that a ready warp contributes
+// only "saw any warp" — so a scheduler whose sole candidates are ready yet
+// unpicked lands in SlotIdle through the default arm.
+func (sc *scheduler) classifyStallFast(n int64) {
+	s := sc.sm
+	sawStruct := false
+	if sc.nReady > 0 {
+		step := len(s.schedulers)
+		for wi, word := range s.ready {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				slot := wi<<6 + b
+				if slot%step != sc.id {
+					continue
+				}
+				if sc.structural(s.Slots[slot]) {
+					sawStruct = true
+				}
+			}
+			if sawStruct {
+				break
+			}
+		}
+	}
+	st := &s.Stats
+	switch {
+	case sc.nReady+sc.nMem+sc.nALU+sc.nBar == 0:
+		st.SlotIdle += n
+	case sawStruct:
+		st.SlotStallStr += n
+	case sc.nMem > 0:
+		st.SlotStallMem += n
+	case sc.nBar > 0:
+		st.SlotStallBar += n
+	case sc.nALU > 0:
+		st.SlotStallALU += n
+	default:
+		st.SlotIdle += n
+	}
+}
+
+// issueFast is the O(ready warps) issue selection: it walks the SM's ready
+// bitset instead of re-deriving schedulable() for every owned slot, and
+// classifies a no-issue cycle from the cached counters.
+func (sc *scheduler) issueFast() bool {
+	s := sc.sm
+	var pick *warp.Warp
+	sawStruct := false
+	if sc.nReady > 0 {
+		step := len(s.schedulers)
+		for wi, word := range s.ready {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				slot := wi<<6 + b
+				if slot%step != sc.id {
+					continue
+				}
+				w := s.Slots[slot]
+				if sc.structural(w) {
+					sawStruct = true
+					continue
+				}
+				if pick == nil || older(w, pick) {
+					pick = w
+				}
+			}
+		}
+	}
+
+	if pick != nil {
+		switch s.Cfg.Scheduler {
+		case config.SchedLRR:
+			pick = sc.lrrPickFast()
+		case config.SchedTwoLevel:
+			if g := sc.twoLevelPick(); g != nil {
+				pick = g
+			}
+		}
+		sc.greedy = pick
+		sc.issue(pick)
+		s.Stats.SlotIssued++
+		return true
+	}
+
+	sc.greedy = nil
+	st := &s.Stats
+	switch {
+	case sc.nReady+sc.nMem+sc.nALU+sc.nBar == 0:
+		st.SlotIdle++
+	case sawStruct:
+		st.SlotStallStr++
+	case sc.nMem > 0:
+		st.SlotStallMem++
+	case sc.nBar > 0:
+		st.SlotStallBar++
+	case sc.nALU > 0:
+		st.SlotStallALU++
+	default:
+		st.SlotIdle++
+	}
+	return false
+}
+
 // issueOne tries to issue one instruction from this scheduler's warps and
 // updates the stall breakdown. Returns true on issue.
 func (sc *scheduler) issueOne() bool {
@@ -139,6 +281,27 @@ func (sc *scheduler) issueOne() bool {
 		s.Stats.SlotStallStr++
 		return false
 	}
+
+	if s.Cfg.Scheduler == config.SchedGTO && sc.greedy != nil {
+		// Greedy warp keeps priority while it can issue.
+		g := sc.greedy
+		var ok bool
+		if !s.DisableFastPath {
+			ok = g.IssueState == warp.BlockedNot && !sc.structural(g)
+		} else {
+			ok, _, _ = sc.schedulable(g)
+		}
+		if ok {
+			sc.issue(g)
+			s.Stats.SlotIssued++
+			return true
+		}
+	}
+
+	if !s.DisableFastPath {
+		return sc.issueFast()
+	}
+
 	var pick *warp.Warp
 	var sawMem, sawALU, sawBar, sawStruct, sawAny bool
 
@@ -162,15 +325,6 @@ func (sc *scheduler) issueOne() bool {
 			sawALU = true
 		case blocked == warp.BlockedBarrier:
 			sawBar = true
-		}
-	}
-
-	if s.Cfg.Scheduler == config.SchedGTO && sc.greedy != nil {
-		// Greedy warp keeps priority while it can issue.
-		if ok, _, _ := sc.schedulable(sc.greedy); ok {
-			sc.issue(sc.greedy)
-			s.Stats.SlotIssued++
-			return true
 		}
 	}
 
@@ -258,6 +412,45 @@ func (sc *scheduler) lrrPick() *warp.Warp {
 	return nil
 }
 
+// lrrPickFast is lrrPick over the ready bitset: among the issuable owned
+// warps it returns the one at the smallest circular distance past rrNext,
+// which is exactly the warp the sequential scan would reach first.
+func (sc *scheduler) lrrPickFast() *warp.Warp {
+	s := sc.sm
+	step := len(s.schedulers)
+	owned := (len(s.Slots) + step - 1 - sc.id) / step
+	var best *warp.Warp
+	bestI := 0
+	for wi, word := range s.ready {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			slot := wi<<6 + b
+			if slot%step != sc.id {
+				continue
+			}
+			w := s.Slots[slot]
+			if sc.structural(w) {
+				continue
+			}
+			o := (slot - sc.id) / step
+			i := o - sc.rrNext
+			if i <= 0 {
+				i += owned // distance wraps; o == rrNext means a full lap
+			}
+			if best == nil || i < bestI {
+				best = w
+				bestI = i
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	sc.rrNext = (sc.rrNext + bestI) % owned
+	return best
+}
+
 // twoLevelPick maintains the scheduler's active fetch group — up to
 // FetchGroupWarps warps that are not blocked on long-latency memory — and
 // round-robins within it. Warps that hit a long stall leave the group and
@@ -329,7 +522,11 @@ func (sc *scheduler) rfBankStall(w *warp.Warp, in *isa.Instr) {
 	}
 	var counts [64]int
 	extra := 0
-	for _, r := range in.SrcRegs(sc.sm.srcBuf[:0]) {
+	srcs := in.SrcList[:in.NSrc]
+	if !in.Decoded {
+		srcs = in.SrcRegs(sc.sm.srcBuf[:0])
+	}
+	for _, r := range srcs {
 		b := int(r) % banks
 		counts[b]++
 		if counts[b] > 1 {
@@ -380,6 +577,11 @@ func (sc *scheduler) issue(w *warp.Warp) {
 	default:
 		sc.aluIssue(w, in)
 	}
+	// Execute moved the SIMT stack and may have marked scoreboard pending,
+	// parked at a barrier, or finished/retired the warp — re-derive its
+	// cached classification. If the CTA retired, the warp is already
+	// unbound and this is a no-op.
+	s.refreshWarp(w)
 }
 
 func (sc *scheduler) aluIssue(w *warp.Warp, in *isa.Instr) {
@@ -388,7 +590,7 @@ func (sc *scheduler) aluIssue(w *warp.Warp, in *isa.Instr) {
 		return
 	}
 	var lat int64
-	switch in.Op.Unit() {
+	switch in.Unit() {
 	case isa.UnitSFU:
 		lat = int64(s.Cfg.SFULatency)
 		s.sfuFreeAt = s.Ev.Now() + int64(s.Cfg.SFUInitInterval)
@@ -412,6 +614,9 @@ func (sc *scheduler) barrier(w *warp.Warp) {
 		}
 		c.Arrived = 0
 		s.Stats.BarrierReleases++
+		for _, ww := range c.Warps {
+			s.refreshWarp(ww)
+		}
 	}
 }
 

@@ -121,6 +121,29 @@ type SM struct {
 	lsuQueue   []*lsuOp
 	wb         wbWheel // short-latency writeback completions (SM-local)
 
+	// DisableFastPath routes issue selection, stall classification, and
+	// quiescence detection through the original full scans instead of the
+	// incrementally maintained ready sets below. The cached state is
+	// maintained either way, so the two modes are interchangeable and must
+	// produce identical results (gpu's fast-path equivalence test).
+	DisableFastPath bool
+
+	// ready is a slot-indexed bitset of warps whose cached IssueState is
+	// BlockedNot; restoreReady counts bound warps that would be ready but
+	// for an in-flight CTA context restore (they keep the SM non-quiescent
+	// exactly like the full Quiescent scan does). Both are maintained by
+	// refreshWarp at every transition that can change a classification.
+	ready        []uint64
+	restoreReady int
+
+	// Per-SM fast-forward (engine idle skip at SM granularity): while
+	// asleep the engine runs neither CtlPhase nor StepPhase for this SM;
+	// WakeUp charges the skipped span through AccountSkipped before any
+	// state mutation makes the frozen classification stale.
+	asleep    bool
+	sleptFrom int64 // first fast-forwarded cycle
+	wakeAt    int64 // earliest local-wheel completion at sleep time; 0 = none
+
 	Stats Stats
 
 	addrBuf []uint32
@@ -175,8 +198,9 @@ func (wb *wbWheel) schedule(cycle int64, w *warp.Warp, reg isa.Reg) {
 // cycles out without aliasing.
 func (wb *wbWheel) capacity() int64 { return wb.mask - 1 }
 
-// drainTo applies every completion due at or before now.
-func (wb *wbWheel) drainTo(now int64) {
+// drainTo applies every completion due at or before now, refreshing the
+// retired warps' cached issue classification on s.
+func (wb *wbWheel) drainTo(now int64, s *SM) {
 	if wb.pending == 0 {
 		wb.drained = now
 		return
@@ -196,6 +220,7 @@ func (wb *wbWheel) drainTo(now int64) {
 			if e.cycle <= now {
 				e.w.SB.ClearPending(e.reg)
 				wb.pending--
+				s.refreshWarp(e.w)
 			} else {
 				kept = append(kept, e)
 			}
@@ -245,6 +270,7 @@ func New(id int, cfg *config.GPUConfig, ev *event.Queue, msys *mem.System,
 		MaxWarps:   maxWarps,
 		MaxThreads: maxThreads,
 		Slots:      make([]*warp.Warp, maxWarps),
+		ready:      make([]uint64, (maxWarps+63)/64),
 		addrBuf:    make([]uint32, cfg.WarpSize),
 		srcBuf:     make([]isa.Reg, 8),
 	}
@@ -274,7 +300,11 @@ func (s *SM) scheduleWB(lat int64, w *warp.Warp, dst isa.Reg) {
 		s.wb.schedule(s.Ev.Now()+lat, w, dst)
 		return
 	}
-	s.Ev.After(lat, func() { w.SB.ClearPending(dst) })
+	s.Ev.After(lat, func() {
+		s.WakeUp()
+		w.SB.ClearPending(dst)
+		s.refreshWarp(w)
+	})
 }
 
 // NextWake returns the earliest cycle at which this SM's local wheel will
@@ -322,6 +352,7 @@ func (s *SM) Activate(c *warp.CTA) {
 			slot++
 		}
 		s.Slots[slot] = w
+		w.Slot = slot
 	}
 	s.WarpsUsed += len(c.Warps)
 	s.ThreadsUsed += c.Threads
@@ -329,6 +360,9 @@ func (s *SM) Activate(c *warp.CTA) {
 	c.State = warp.CTAActive
 	c.ActivatedAt = s.Ev.Now()
 	c.Activations++
+	for _, w := range c.Warps {
+		s.refreshWarp(w)
+	}
 }
 
 // Deactivate unbinds the CTA's warps from their slots (a VT swap-out). The
@@ -336,6 +370,7 @@ func (s *SM) Activate(c *warp.CTA) {
 func (s *SM) Deactivate(c *warp.CTA) {
 	for i, w := range s.Slots {
 		if w != nil && w.CTA == c {
+			s.unbindWarp(w)
 			s.Slots[i] = nil
 		}
 	}
@@ -347,6 +382,90 @@ func (s *SM) Deactivate(c *warp.CTA) {
 	} else {
 		c.State = warp.CTAInactiveReady
 	}
+}
+
+// NoteCTAStateChanged re-derives the cached classification of every warp
+// of c after an externally applied CTA state change: the VT controller
+// flips CTAActive <-> CTARestoring outside Activate/Deactivate.
+func (s *SM) NoteCTAStateChanged(c *warp.CTA) {
+	for _, w := range c.Warps {
+		s.refreshWarp(w)
+	}
+}
+
+// refreshWarp recomputes the warp's cached issue classification and folds
+// any change into the owning scheduler's stall counters, the SM's ready
+// bitset, and the restore-ready count. It must run after every mutation
+// that can change the classification: instruction issue, scoreboard
+// writeback, barrier arrival/release, warp finish, and CTA
+// bind/unbind/state changes.
+func (s *SM) refreshWarp(w *warp.Warp) {
+	cls := warp.BlockedDone
+	rr := false
+	if w.Slot >= 0 {
+		bs := w.BlockedState(w.CTA.Launch.Kernel.Code, s.srcBuf)
+		switch w.CTA.State {
+		case warp.CTAActive:
+			cls = bs
+		case warp.CTARestoring:
+			rr = bs == warp.BlockedNot
+		}
+	}
+	if rr != w.RestoreReady {
+		if rr {
+			s.restoreReady++
+		} else {
+			s.restoreReady--
+		}
+		w.RestoreReady = rr
+	}
+	s.noteClass(w, cls)
+}
+
+// noteClass moves the warp's cached classification to cls, updating the
+// scheduler counters and the ready bitset. No-op when unchanged; unbound
+// warps are always BlockedDone, so the slot index is valid whenever the
+// counters move.
+func (s *SM) noteClass(w *warp.Warp, cls warp.Blocked) {
+	old := w.IssueState
+	if cls == old {
+		return
+	}
+	sc := s.schedulers[w.Slot%len(s.schedulers)]
+	switch old {
+	case warp.BlockedNot:
+		sc.nReady--
+		s.ready[w.Slot>>6] &^= 1 << (uint(w.Slot) & 63)
+	case warp.BlockedMem:
+		sc.nMem--
+	case warp.BlockedALU:
+		sc.nALU--
+	case warp.BlockedBarrier:
+		sc.nBar--
+	}
+	switch cls {
+	case warp.BlockedNot:
+		sc.nReady++
+		s.ready[w.Slot>>6] |= 1 << (uint(w.Slot) & 63)
+	case warp.BlockedMem:
+		sc.nMem++
+	case warp.BlockedALU:
+		sc.nALU++
+	case warp.BlockedBarrier:
+		sc.nBar++
+	}
+	w.IssueState = cls
+}
+
+// unbindWarp clears the warp's cached state contributions before it loses
+// its slot.
+func (s *SM) unbindWarp(w *warp.Warp) {
+	s.noteClass(w, warp.BlockedDone)
+	if w.RestoreReady {
+		s.restoreReady--
+		w.RestoreReady = false
+	}
+	w.Slot = -1
 }
 
 func (s *SM) anyOutstandingLoads(c *warp.CTA) bool {
@@ -394,7 +513,7 @@ func (s *SM) Cycle() bool {
 // identical (see docs/ARCHITECTURE.md, "Parallel engine & determinism").
 func (s *SM) CtlPhase() {
 	s.Stats.Cycles++
-	s.wb.drainTo(s.Ev.Now())
+	s.wb.drainTo(s.Ev.Now(), s)
 	s.Ctl.Cycle(s)
 }
 
@@ -428,6 +547,19 @@ func (s *SM) Quiescent() bool {
 	if now < s.sfuFreeAt || now < s.smemFreeAt {
 		return false
 	}
+	if !s.DisableFastPath {
+		// A ready warp of a restoring CTA blocks quiescence in the scan
+		// below (BlockedState ignores CTA state), so mirror it here.
+		if s.restoreReady > 0 {
+			return false
+		}
+		for _, sc := range s.schedulers {
+			if sc.nReady > 0 {
+				return false
+			}
+		}
+		return true
+	}
 	for _, w := range s.Slots {
 		if w == nil || w.Finished {
 			continue
@@ -438,6 +570,64 @@ func (s *SM) Quiescent() bool {
 	}
 	return true
 }
+
+// Asleep reports whether the SM is being fast-forwarded by the engine.
+func (s *SM) Asleep() bool { return s.asleep }
+
+// sleepGate is an optional Controller refinement: CanSleep vetoes per-SM
+// fast-forward while the controller still has an actionable decision (an
+// activation or swap-out that needs no external event). Controllers whose
+// per-cycle work is fully event-driven once the SM is quiescent need not
+// implement it.
+type sleepGate interface {
+	CanSleep(*SM) bool
+}
+
+// TrySleep puts the SM into per-SM fast-forward if nothing local can change
+// state: it is quiescent and no scheduler holds a register-file bank stall
+// that expires after next cycle. While asleep the engine skips both phases;
+// any event that can change the SM's state wakes it first (WakeUp), and the
+// local writeback wheel wakes it through WheelWakeDue.
+func (s *SM) TrySleep() {
+	now := s.Ev.Now()
+	for _, sc := range s.schedulers {
+		if sc.busyUntil > now+1 {
+			return
+		}
+	}
+	if !s.Quiescent() {
+		return
+	}
+	if g, ok := s.Ctl.(sleepGate); ok && !g.CanSleep(s) {
+		return
+	}
+	s.asleep = true
+	s.sleptFrom = now + 1
+	if c, ok := s.wb.next(); ok {
+		s.wakeAt = c
+	} else {
+		s.wakeAt = 0
+	}
+}
+
+// WakeUp ends a fast-forward span, charging the skipped cycles through
+// AccountSkipped. Every event callback that mutates SM state calls it
+// first, so the classification counters the accounting reads are exactly
+// the ones frozen when the SM went to sleep.
+func (s *SM) WakeUp() {
+	if !s.asleep {
+		return
+	}
+	s.asleep = false
+	if n := s.Ev.Now() - s.sleptFrom; n > 0 {
+		s.AccountSkipped(n)
+	}
+}
+
+// WheelWakeDue reports whether the sleeping SM's local writeback wheel has
+// a completion due at or before now (wheel cycles are always >= 1, so 0
+// safely encodes "none").
+func (s *SM) WheelWakeDue(now int64) bool { return s.wakeAt != 0 && s.wakeAt <= now }
 
 func (s *SM) accumOccupancy() {
 	st := &s.Stats
@@ -482,9 +672,11 @@ func (s *SM) lsuTick() {
 // destination becomes readable and, if this was the CTA's last outstanding
 // load while swapped out, the controller learns it is ready again.
 func (s *SM) loadComplete(op *lsuOp) {
+	s.WakeUp() // flush fast-forward accounting before mutating state
 	w := op.w
 	w.SB.ClearPending(op.dst)
 	w.OutstandingLoads--
+	s.refreshWarp(w)
 	c := w.CTA
 	if c.State == warp.CTAInactiveWaiting && !s.anyOutstandingLoads(c) {
 		c.State = warp.CTAInactiveReady

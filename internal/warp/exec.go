@@ -3,6 +3,7 @@ package warp
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -41,8 +42,9 @@ func Execute(w *Warp, in *isa.Instr, gmem *mem.Backing, addrBuf []uint32, log *G
 	switch in.Op {
 	case isa.OpBra:
 		var taken simt.Mask
-		for lane := 0; lane < w.Lanes; lane++ {
-			if active.Has(lane) && w.Reg(in.SrcA, lane) != 0 {
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(uint64(m))
+			if w.Reg(in.SrcA, lane) != 0 {
 				taken |= 1 << uint(lane)
 			}
 		}
@@ -67,18 +69,15 @@ func Execute(w *Warp, in *isa.Instr, gmem *mem.Backing, addrBuf []uint32, log *G
 	if in.Op.Unit() == isa.UnitMem {
 		info.MemOp = true
 		info.Addrs = addrBuf[:w.warpW]
-		for lane := 0; lane < w.Lanes; lane++ {
-			if active.Has(lane) {
-				info.Addrs[lane] = w.Reg(in.SrcA, lane) + in.Imm
-			}
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(uint64(m))
+			info.Addrs[lane] = w.Reg(in.SrcA, lane) + in.Imm
 		}
 		switch in.Op {
 		case isa.OpLdShared, isa.OpStShared:
 			// Shared memory is CTA-private: always safe to run inline.
-			for lane := 0; lane < w.Lanes; lane++ {
-				if !active.Has(lane) {
-					continue
-				}
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(uint64(m))
 				if in.Op == isa.OpLdShared {
 					w.SetReg(in.Dst, lane, w.loadShared(info.Addrs[lane]))
 				} else {
@@ -96,10 +95,8 @@ func Execute(w *Warp, in *isa.Instr, gmem *mem.Backing, addrBuf []uint32, log *G
 		return info
 	}
 
-	for lane := 0; lane < w.Lanes; lane++ {
-		if !active.Has(lane) {
-			continue
-		}
+	for m := active; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(uint64(m))
 		w.SetReg(in.Dst, lane, evalALU(w, in, lane))
 	}
 	w.Stack.Advance()
@@ -112,10 +109,8 @@ func Execute(w *Warp, in *isa.Instr, gmem *mem.Backing, addrBuf []uint32, log *G
 // from SrcA, which is exact: a warp issues at most one instruction per
 // cycle, so none of its registers can change between issue and replay.
 func execGlobalLanes(w *Warp, in *isa.Instr, gmem *mem.Backing, active simt.Mask) {
-	for lane := 0; lane < w.Lanes; lane++ {
-		if !active.Has(lane) {
-			continue
-		}
+	for m := active; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(uint64(m))
 		addr := w.Reg(in.SrcA, lane) + in.Imm
 		switch in.Op {
 		case isa.OpLdGlobal:

@@ -16,20 +16,10 @@ import (
 	"repro/internal/simt"
 )
 
-// RegMask is a 256-bit register bitset used by the scoreboard.
-type RegMask [4]uint64
-
-// Set adds register r to the mask.
-func (m *RegMask) Set(r isa.Reg) { m[r>>6] |= 1 << (r & 63) }
-
-// Clear removes register r from the mask.
-func (m *RegMask) Clear(r isa.Reg) { m[r>>6] &^= 1 << (r & 63) }
-
-// Has reports whether register r is in the mask.
-func (m *RegMask) Has(r isa.Reg) bool { return m[r>>6]&(1<<(r&63)) != 0 }
-
-// Any reports whether the mask is non-empty.
-func (m *RegMask) Any() bool { return m[0]|m[1]|m[2]|m[3] != 0 }
+// RegMask is a 256-bit register bitset used by the scoreboard. It lives in
+// package isa so instructions can carry pre-decoded operand masks; the
+// alias keeps this package's historical name working.
+type RegMask = isa.RegMask
 
 // Scoreboard tracks registers with outstanding writes, distinguishing
 // long-latency producers (global loads) from short-latency ALU producers.
@@ -66,6 +56,15 @@ func (sb *Scoreboard) ClearPending(r isa.Reg) {
 // outstanding writes, and whether any conflicting register is waiting on a
 // global load. srcBuf is scratch to avoid allocation.
 func (sb *Scoreboard) Conflicts(in *isa.Instr, srcBuf []isa.Reg) (conflict, onLoad bool) {
+	if in.Decoded {
+		// load is a subset of pend (MarkPending/ClearPending maintain them
+		// in lockstep), so the slow path's "some conflicting register is
+		// load-pending" is exactly a load/HazMask intersection.
+		if !sb.pend.Intersects(&in.HazMask) {
+			return false, false
+		}
+		return true, sb.load.Intersects(&in.HazMask)
+	}
 	check := func(r isa.Reg) {
 		if r != isa.RZ && sb.pend.Has(r) {
 			conflict = true
@@ -183,6 +182,16 @@ type Warp struct {
 	// nonzero for the swapped-out CTAs that VT must wait on.
 	OutstandingLoads int
 
+	// Issue fast-path cache, owned by the SM the warp is resident on (see
+	// internal/sm and docs/ARCHITECTURE.md, "Issue fast path"). Slot is
+	// the warp-slot index while bound, -1 otherwise. IssueState is the
+	// cached scheduler classification (BlockedDone while unbound or while
+	// the CTA is not active); RestoreReady marks a bound warp that would
+	// be ready but for its CTA's in-flight context restore.
+	Slot         int
+	IssueState   Blocked
+	RestoreReady bool
+
 	LastIssue    int64 // cycle of the most recent issue (GTO priority)
 	IssuedInstrs int64 // warp instructions issued
 	ThreadInstrs int64 // thread instructions (issued x active lanes)
@@ -213,11 +222,13 @@ func NewCTA(l *isa.Launch, flatID int, warpSize int) *CTA {
 			lanes = rem
 		}
 		wp := &Warp{
-			CTA:      c,
-			IdxInCTA: w,
-			Lanes:    lanes,
-			Regs:     make([]uint32, l.Kernel.NumRegs*warpSize),
-			warpW:    warpSize,
+			CTA:        c,
+			IdxInCTA:   w,
+			Lanes:      lanes,
+			Regs:       make([]uint32, l.Kernel.NumRegs*warpSize),
+			warpW:      warpSize,
+			Slot:       -1,
+			IssueState: BlockedDone,
 		}
 		wp.Stack.Reset(lanes)
 		c.Warps = append(c.Warps, wp)
