@@ -10,6 +10,12 @@
 //	vtbench -dilute 10         # shrink grids 10x for a quick pass
 //	vtbench -json BENCH_engine.json   # per-experiment wall time + simcycles/s
 //	vtbench -cpuprofile cpu.pprof     # profile, labeled by experiment/workload/variant
+//	vtbench -faildir failures         # write repro bundles for failed runs
+//	vtbench -cachedir c -resume       # continue an interrupted/failed sweep
+//
+// Exit codes: 0 on success, 1 on a fatal setup error, 3 when the sweep
+// completed but one or more runs failed (repro bundles in -faildir, the
+// completion journal marks them for -resume).
 package main
 
 import (
@@ -18,11 +24,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	vtsim "repro"
+	"repro/internal/faultinject"
+	"repro/internal/harness"
 	"repro/internal/stats"
 )
 
@@ -35,6 +44,7 @@ type expReport struct {
 	CacheHits       int     `json:"cache_hits"`
 	SimCycles       int64   `json:"sim_cycles"`
 	SimCyclesPerSec float64 `json:"simcycles_per_sec"`
+	Error           string  `json:"error,omitempty"`
 }
 
 // benchReport is the top-level -json document.
@@ -51,10 +61,20 @@ type benchReport struct {
 	CacheHits       int         `json:"cache_hits"`
 	SimCycles       int64       `json:"sim_cycles"`
 	SimCyclesPerSec float64     `json:"simcycles_per_sec"`
-	Experiments     []expReport `json:"experiments"`
+	// Supervisor outcome counters (zero on a clean sweep).
+	RunsRetried   int `json:"runs_retried,omitempty"`
+	RunsDegraded  int `json:"runs_degraded,omitempty"`
+	RunsFailed    int `json:"runs_failed,omitempty"`
+	ResumedFailed int `json:"resumed_failed,omitempty"`
+
+	Experiments []expReport `json:"experiments"`
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the exit code out past the deferred cleanups (an
+// os.Exit in the body would skip profile flushes and file closes).
+func realMain() int {
 	var (
 		run        = flag.String("run", "all", "experiment ID or \"all\"")
 		scale      = flag.Int("scale", 1, "grid size multiplier")
@@ -64,6 +84,11 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write every table as CSV into this directory")
 		jsonPath   = flag.String("json", "", "write per-experiment wall time and simcycles/s to this file")
 		cacheDir   = flag.String("cachedir", "", "persist memoized run results in this directory across invocations")
+		failDir    = flag.String("faildir", "failures", "write a JSON repro bundle per failed run into this directory (\"\" disables)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock deadline per simulation (0 = none)")
+		checkInv   = flag.Bool("checkinvariants", false, "run every simulation with the conservation-invariant checker")
+		injectSpec = flag.String("inject", "", "inject a deterministic fault: workload[/variant]@cycle:kind (kind: panic, panic-once, corrupt, hang=<dur>)")
+		resume     = flag.Bool("resume", false, "resume an interrupted or partially failed sweep from the -cachedir journal")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -74,14 +99,14 @@ func main() {
 		for _, e := range vtsim.Experiments() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
@@ -89,7 +114,7 @@ func main() {
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		stats.SetCSVDir(*csvDir)
 	}
@@ -97,11 +122,11 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatalf("cpuprofile: %v", err)
+			return fatalf("cpuprofile: %v", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -111,6 +136,35 @@ func main() {
 	p.Dilute = *dilute
 	p.Workers = *workers
 	p.CacheDir = *cacheDir
+	p.FailDir = *failDir
+	p.RunTimeout = *timeout
+	p.CheckInvariants = *checkInv
+
+	if *injectSpec != "" {
+		sp, err := faultinject.Parse(*injectSpec)
+		if err != nil {
+			return fatalf("%v", err)
+		}
+		p.Inject = sp
+	}
+	if *resume && *cacheDir == "" {
+		return fatalf("-resume needs -cachedir: the journal and the cached results live there")
+	}
+	if *cacheDir != "" {
+		meta := harness.JournalMeta{Scale: *scale, Dilute: *dilute, Config: p.Config.Name}
+		jl, err := harness.OpenJournal(filepath.Join(*cacheDir, "journal.jsonl"), meta, *resume)
+		if err != nil {
+			return fatalf("%v", err)
+		}
+		defer jl.Close()
+		p.Journal = jl
+		p.Resume = *resume
+		if *resume {
+			ok, degraded, failed := jl.Summary()
+			fmt.Fprintf(os.Stderr, "vtbench: resuming sweep: journal records %d ok, %d degraded, %d failed\n",
+				ok, degraded, failed)
+		}
+	}
 
 	var todo []vtsim.Experiment
 	if *run == "all" {
@@ -118,7 +172,7 @@ func main() {
 	} else {
 		e, err := vtsim.GetExperiment(*run)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		todo = []vtsim.Experiment{e}
 	}
@@ -131,6 +185,7 @@ func main() {
 		Dilute:     *dilute,
 		Workers:    *workers,
 	}
+	exitCode := 0
 	start := time.Now()
 	for _, e := range todo {
 		if *run == "all" {
@@ -141,9 +196,7 @@ func main() {
 		}
 		before := vtsim.ExperimentMetrics()
 		t0 := time.Now()
-		if err := vtsim.RunExperiment(e.ID, p, w); err != nil {
-			fatalf("%s: %v", e.ID, err)
-		}
+		expErr := vtsim.RunExperiment(e.ID, p, w)
 		wall := time.Since(t0).Seconds()
 		m := vtsim.ExperimentMetrics()
 		r := expReport{
@@ -157,6 +210,14 @@ func main() {
 		if wall > 0 {
 			r.SimCyclesPerSec = float64(r.SimCycles) / wall
 		}
+		if expErr != nil {
+			// The supervisor already bundled the failed runs; keep the
+			// sweep going and report the incomplete experiment at the end.
+			r.Error = expErr.Error()
+			exitCode = 3
+			fmt.Fprintf(os.Stderr, "vtbench: %s failed: %v\n", e.ID, expErr)
+			fmt.Fprintf(w, "EXPERIMENT FAILED %s: %v\n\n", e.ID, expErr)
+		}
 		report.Experiments = append(report.Experiments, r)
 	}
 	report.TotalWallSec = time.Since(start).Seconds()
@@ -165,18 +226,30 @@ func main() {
 	report.RunsExecuted = m.Executed
 	report.CacheHits = m.CacheHits
 	report.SimCycles = m.SimCycles
+	report.RunsRetried = m.Retries
+	report.RunsDegraded = m.Degraded
+	report.RunsFailed = m.Failures
+	report.ResumedFailed = m.ResumedFailed
 	if report.TotalWallSec > 0 {
 		report.SimCyclesPerSec = float64(m.SimCycles) / report.TotalWallSec
 	}
 	fmt.Fprintf(w, "total wall time: %s\n", time.Duration(report.TotalWallSec*float64(time.Second)).Round(time.Millisecond))
+	if m.Retries > 0 || m.Failures > 0 {
+		fmt.Fprintf(w, "supervisor: %d safe-mode retries, %d degraded, %d failed runs\n",
+			m.Retries, m.Degraded, m.Failures)
+		if m.Failures > 0 && *failDir != "" {
+			fmt.Fprintf(w, "supervisor: repro bundles in %s; re-run the failed jobs with -cachedir %s -resume\n",
+				*failDir, *cacheDir)
+		}
+	}
 
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
-			fatalf("json: %v", err)
+			return fatalf("json: %v", err)
 		}
 		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
-			fatalf("json: %v", err)
+			return fatalf("json: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "vtbench: wrote %s\n", *jsonPath)
 	}
@@ -184,17 +257,18 @@ func main() {
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatalf("memprofile: %v", err)
+			return fatalf("memprofile: %v", err)
 		}
 	}
+	return exitCode
 }
 
-func fatalf(format string, args ...any) {
+func fatalf(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "vtbench: "+format+"\n", args...)
-	os.Exit(1)
+	return 1
 }

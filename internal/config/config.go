@@ -402,36 +402,34 @@ func (c GPUConfig) EffectiveSchedulingLimits() (ctas, warps, threads int) {
 
 // Validate reports configuration errors that would make a simulation
 // meaningless (zero-sized structures, non-power-of-two lines, limits that
-// cannot admit a single warp).
+// cannot admit a single warp). Every violation is collected — the result
+// joins all of them with errors.Join — so one Validate call shows the
+// full repair list instead of one problem per round trip.
 func (c GPUConfig) Validate() error {
-	switch {
-	case c.NumSMs <= 0:
-		return errors.New("config: NumSMs must be positive")
-	case c.WarpSize <= 0 || c.WarpSize > 64:
-		return errors.New("config: WarpSize must be in 1..64")
-	case c.MaxCTAsPerSM <= 0 || c.MaxWarpsPerSM <= 0 || c.MaxThreadsPerSM <= 0:
-		return errors.New("config: scheduling limits must be positive")
-	case c.MaxThreadsPerSM < c.WarpSize:
-		return errors.New("config: MaxThreadsPerSM smaller than one warp")
-	case c.NumSchedulers <= 0:
-		return errors.New("config: NumSchedulers must be positive")
-	case c.RegFileSize <= 0 || c.SharedMemPerSM < 0:
-		return errors.New("config: capacity limits must be positive")
-	case c.RegAllocUnit <= 0 || c.SMemAllocUnit <= 0:
-		return errors.New("config: allocation units must be positive")
-	case c.ALULatency <= 0 || c.SFULatency <= 0 || c.SMemLatency <= 0:
-		return errors.New("config: execution latencies must be positive")
-	case c.NumMemPartitions <= 0:
-		return errors.New("config: NumMemPartitions must be positive")
-	case c.DRAMServiceCycles <= 0 || c.DRAMLatency <= 0:
-		return errors.New("config: DRAM timing must be positive")
-	case c.DRAMBanks < 0 || c.DRAMRowPenalty < 0:
-		return errors.New("config: DRAM bank model parameters must be non-negative")
-	case c.RegFileBanks < 0 || c.RegFileBanks > 64:
-		return errors.New("config: RegFileBanks must be in 0..64")
-	case c.LSUQueueDepth <= 0:
-		return errors.New("config: LSUQueueDepth must be positive")
+	var errs []error
+	bad := func(cond bool, msg string) {
+		if cond {
+			errs = append(errs, errors.New("config: "+msg))
+		}
 	}
+	bad(c.NumSMs <= 0, "NumSMs must be positive")
+	bad(c.WarpSize <= 0 || c.WarpSize > 64, "WarpSize must be in 1..64")
+	bad(c.MaxCTAsPerSM <= 0 || c.MaxWarpsPerSM <= 0 || c.MaxThreadsPerSM <= 0,
+		"scheduling limits must be positive")
+	bad(c.WarpSize > 0 && c.MaxThreadsPerSM > 0 && c.MaxThreadsPerSM < c.WarpSize,
+		"MaxThreadsPerSM smaller than one warp")
+	bad(c.NumSchedulers <= 0, "NumSchedulers must be positive")
+	bad(c.RegFileSize <= 0 || c.SharedMemPerSM < 0, "capacity limits must be positive")
+	bad(c.RegAllocUnit <= 0 || c.SMemAllocUnit <= 0, "allocation units must be positive")
+	bad(c.ALULatency <= 0 || c.SFULatency <= 0 || c.SMemLatency <= 0,
+		"execution latencies must be positive")
+	bad(c.NumMemPartitions <= 0, "NumMemPartitions must be positive")
+	bad(c.DRAMServiceCycles <= 0 || c.DRAMLatency <= 0, "DRAM timing must be positive")
+	bad(c.DRAMBanks < 0 || c.DRAMRowPenalty < 0,
+		"DRAM bank model parameters must be non-negative")
+	bad(c.RegFileBanks < 0 || c.RegFileBanks > 64, "RegFileBanks must be in 0..64")
+	bad(c.LSUQueueDepth <= 0, "LSUQueueDepth must be positive")
+	bad(c.MaxCycles < 0, "MaxCycles must be non-negative")
 	for _, cc := range []struct {
 		name string
 		c    CacheConfig
@@ -440,19 +438,16 @@ func (c GPUConfig) Validate() error {
 			continue
 		}
 		if cc.c.Sets <= 0 || cc.c.Ways <= 0 || cc.c.MSHRs <= 0 {
-			return fmt.Errorf("config: %s geometry must be positive", cc.name)
+			errs = append(errs, fmt.Errorf("config: %s geometry must be positive", cc.name))
 		}
 		if cc.c.LineSize <= 0 || cc.c.LineSize&(cc.c.LineSize-1) != 0 {
-			return fmt.Errorf("config: %s line size must be a power of two", cc.name)
+			errs = append(errs, fmt.Errorf("config: %s line size must be a power of two", cc.name))
 		}
 	}
 	if c.Policy == PolicyVT || c.Policy == PolicyFullSwap {
-		if c.VT.SwapOutLatency < 0 || c.VT.SwapInLatency < 0 {
-			return errors.New("config: VT swap latencies must be non-negative")
-		}
-		if c.VT.ContextBufferBytes <= 0 {
-			return errors.New("config: VT context buffer must be positive")
-		}
+		bad(c.VT.SwapOutLatency < 0 || c.VT.SwapInLatency < 0,
+			"VT swap latencies must be non-negative")
+		bad(c.VT.ContextBufferBytes <= 0, "VT context buffer must be positive")
 	}
-	return nil
+	return errors.Join(errs...)
 }

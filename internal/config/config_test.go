@@ -1,6 +1,7 @@
 package config
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -190,5 +191,35 @@ func TestSchedulerJSONRoundTrip(t *testing.T) {
 		if back != k {
 			t.Fatalf("round trip %v", k)
 		}
+	}
+}
+
+// TestValidateCollectsAllViolations: Validate must report every problem
+// in one pass (errors.Join), not just the first.
+func TestValidateCollectsAllViolations(t *testing.T) {
+	c := GTX480()
+	c.NumSMs = 0
+	c.NumSchedulers = -1
+	c.MaxCycles = -5
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	for _, want := range []string{"NumSMs", "NumSchedulers", "MaxCycles"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing the %s violation: %v", want, err)
+		}
+	}
+}
+
+func TestValidateRejectsNegativeMaxCycles(t *testing.T) {
+	c := GTX480()
+	c.MaxCycles = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative MaxCycles accepted")
+	}
+	c.MaxCycles = 0 // engine default: valid
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }

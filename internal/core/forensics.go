@@ -1,0 +1,35 @@
+package core
+
+// SMDiag snapshots the VT controller's bookkeeping for one SM, captured
+// into abort diagnostics so a stuck swap pipeline is visible in failure
+// reports.
+type SMDiag struct {
+	// CtxBytesUsed is the context-buffer bytes held by inactive CTAs.
+	CtxBytesUsed int `json:"ctx_bytes_used"`
+	// PortsBusyUntil is, per context-buffer port, the first cycle the
+	// port is free again (a swap in flight shows as a future cycle).
+	PortsBusyUntil []int64 `json:"ports_busy_until,omitempty"`
+	// WakeAt is the earliest min-residency expiry the controller is
+	// waiting on (0 = none).
+	WakeAt int64 `json:"wake_at,omitempty"`
+}
+
+// Diag is the VT controller's state snapshot for a failure report.
+type Diag struct {
+	Stats Stats    `json:"stats"`
+	PerSM []SMDiag `json:"per_sm"`
+}
+
+// Diagnose captures the controller's current state. Pure read.
+func (v *Controller) Diagnose() *Diag {
+	d := &Diag{Stats: v.Stats, PerSM: make([]SMDiag, len(v.perSM))}
+	for i := range v.perSM {
+		st := &v.perSM[i]
+		d.PerSM[i] = SMDiag{
+			CtxBytesUsed:   st.ctxBytesUsed,
+			PortsBusyUntil: append([]int64(nil), st.ports...),
+			WakeAt:         st.wakeAt,
+		}
+	}
+	return d
+}

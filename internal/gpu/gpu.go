@@ -4,6 +4,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -165,6 +166,29 @@ type Options struct {
 	// at every setting; see docs/ARCHITECTURE.md for the determinism
 	// contract.
 	Parallelism int
+	// CheckInvariants runs every SM's conservation-invariant checker
+	// (issue-slot conservation, residency accounting, ready-bitset and
+	// writeback-wheel consistency; see sm.CheckInvariants) every
+	// InvariantInterval cycles and at run end. A violation aborts the
+	// run with an *AbortError whose diagnostic carries the cycle-stamped
+	// report. Off by default: the checker is a full state rescan.
+	CheckInvariants bool
+	// InvariantInterval is the checking period in cycles when
+	// CheckInvariants is set; zero means DefaultInvariantInterval.
+	InvariantInterval int64
+	// Ctx, when non-nil, bounds the run by wall clock: it is polled
+	// every few thousand simulated cycles, and its expiry or
+	// cancellation aborts the run with an *AbortError (ReasonDeadline)
+	// carrying a full diagnostic of where the simulation stood.
+	Ctx context.Context
+	// FaultHook, when non-nil, runs at the top of every simulated cycle
+	// with the current cycle and the live SMs. It is the deterministic
+	// fault-injection seam the run supervisor's tests use to trigger
+	// panics, state corruption, and hangs at chosen cycles (see
+	// internal/faultinject); it must be nil in normal runs. Idle-skip
+	// makes cycle numbers jump, so hooks must fire on the first cycle at
+	// or past their target, never on equality.
+	FaultHook func(cycle int64, sms []*sm.SM)
 }
 
 // Run simulates one launch on the configured GPU and returns its result.
@@ -179,6 +203,9 @@ func Run(l *isa.Launch, cfg config.GPUConfig, opts Options) (*Result, error) {
 func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("gpu: Options.Parallelism must be non-negative (got %d)", opts.Parallelism)
 	}
 	if len(launches) == 0 {
 		return nil, fmt.Errorf("gpu: no launches")
@@ -260,8 +287,59 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		resolveWorkers(opts.Parallelism, cfg.NumSMs), !opts.DisableIdleSkip)
 	defer eng.shutdown()
 
+	// diagnose snapshots the whole machine for an abort error. Pure read:
+	// it runs only on the abort paths, never in a completing simulation.
+	diagnose := func(reason, violation string, cycle int64) *AbortDiagnostic {
+		d := &AbortDiagnostic{
+			Kernel:        launches[0].Kernel.Name,
+			Reason:        reason,
+			Violation:     violation,
+			Cycle:         cycle,
+			EventsPending: ev.Pending(),
+			GridRemaining: grid.Remaining(),
+		}
+		for _, s := range sms {
+			d.SMs = append(d.SMs, s.Diagnose())
+		}
+		if vt != nil {
+			d.VT = vt.Diagnose()
+		}
+		return d
+	}
+
+	checkEvery := opts.InvariantInterval
+	if checkEvery <= 0 {
+		checkEvery = DefaultInvariantInterval
+	}
+	nextCheck := checkEvery
+	// The deadline poll amortizes the context read across a window of
+	// cycles; idle-skip can jump far past nextPoll, which only makes the
+	// poll sooner. The window is small relative to even heavily diluted
+	// runs (~1k simulated cycles) so deadlines are observed promptly.
+	const deadlinePollCycles = 512
+	var nextPoll int64
+
 	cycle := int64(0)
 	for {
+		if opts.FaultHook != nil {
+			opts.FaultHook(cycle, sms)
+		}
+		if opts.Ctx != nil && cycle >= nextPoll {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, newAbortError(diagnose(ReasonDeadline, "", cycle),
+					fmt.Sprintf("gpu: kernel %q aborted at cycle %d: %v",
+						launches[0].Kernel.Name, cycle, err), err)
+			}
+			nextPoll = cycle + deadlinePollCycles
+		}
+		if opts.CheckInvariants && cycle >= nextCheck {
+			if err := checkInvariants(sms); err != nil {
+				return nil, newAbortError(diagnose(ReasonInvariant, err.Error(), cycle),
+					fmt.Sprintf("gpu: kernel %q invariant violation at cycle %d: %v",
+						launches[0].Kernel.Name, cycle, err), err)
+			}
+			nextCheck = cycle + checkEvery
+		}
 		if grid.Remaining() == 0 {
 			done := true
 			for _, s := range sms {
@@ -293,8 +371,9 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 			} else if !ok {
 				// No events pending and nothing schedulable:
 				// the simulation cannot make progress.
-				return nil, fmt.Errorf("gpu: kernel %q deadlocked at cycle %d",
-					launches[0].Kernel.Name, cycle)
+				return nil, newAbortError(diagnose(ReasonDeadlock, "", cycle),
+					fmt.Sprintf("gpu: kernel %q deadlocked at cycle %d",
+						launches[0].Kernel.Name, cycle), nil)
 			}
 		}
 		if opts.SampleInterval > 0 {
@@ -306,8 +385,9 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		cycle = next
 		ev.AdvanceTo(cycle)
 		if cycle > maxCycles {
-			return nil, fmt.Errorf("gpu: kernel %q exceeded %d cycles",
-				launches[0].Kernel.Name, maxCycles)
+			return nil, newAbortError(diagnose(ReasonMaxCycles, "", cycle),
+				fmt.Sprintf("gpu: kernel %q exceeded %d cycles",
+					launches[0].Kernel.Name, maxCycles), nil)
 		}
 	}
 
@@ -315,6 +395,15 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 	// skipped span.
 	for _, s := range sms {
 		s.WakeUp()
+	}
+	if opts.CheckInvariants {
+		// Final end-of-run check: every skipped span has been charged, so
+		// the conservation invariants must hold exactly here.
+		if err := checkInvariants(sms); err != nil {
+			return nil, newAbortError(diagnose(ReasonInvariant, err.Error(), cycle),
+				fmt.Sprintf("gpu: kernel %q invariant violation at cycle %d: %v",
+					launches[0].Kernel.Name, cycle, err), err)
+		}
 	}
 
 	name := launches[0].Kernel.Name

@@ -27,26 +27,59 @@ type diskEntry struct {
 	Result      *gpu.Result `json:"result"`
 }
 
-// diskCachePath maps a fingerprint to its cache file.
-func diskCachePath(dir, fp string) string {
+// cacheKey hashes a fingerprint into the stable hex id used both for
+// cache file names and for completion-journal entries, so a journal line
+// can be correlated with its cached Result on disk.
+func cacheKey(fp string) string {
 	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s", diskCacheVersion, fp)))
-	return filepath.Join(dir, "vtsim-"+hex.EncodeToString(sum[:16])+".json")
+	return hex.EncodeToString(sum[:16])
 }
 
-// diskLoad returns the cached Result for the fingerprint, or nil. All
-// failures (missing file, corrupt JSON, stale version, hash collision)
-// are simply misses: the caller re-simulates and overwrites.
+// diskCachePath maps a fingerprint to its cache file.
+func diskCachePath(dir, fp string) string {
+	return filepath.Join(dir, "vtsim-"+cacheKey(fp)+".json")
+}
+
+// diskLoad returns the cached Result for the fingerprint, or nil. A
+// missing file is a plain miss; a file that exists but cannot be used
+// (torn/corrupt JSON, stale version, fingerprint mismatch) is quarantined
+// rather than silently re-simulated over, so corruption stays observable.
 func diskLoad(dir, fp string) *gpu.Result {
-	b, err := os.ReadFile(diskCachePath(dir, fp))
+	path := diskCachePath(dir, fp)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil
 	}
 	var e diskEntry
-	if json.Unmarshal(b, &e) != nil ||
-		e.Version != diskCacheVersion || e.Fingerprint != fp || e.Result == nil {
+	if err := json.Unmarshal(b, &e); err != nil {
+		quarantine(path, fmt.Sprintf("corrupt JSON: %v", err))
 		return nil
 	}
-	return e.Result
+	switch {
+	case e.Version != diskCacheVersion:
+		quarantine(path, fmt.Sprintf("stale version %d (want %d)", e.Version, diskCacheVersion))
+	case e.Fingerprint != fp:
+		quarantine(path, "fingerprint mismatch (filename hash collision or corruption)")
+	case e.Result == nil:
+		quarantine(path, "entry has no result")
+	default:
+		return e.Result
+	}
+	return nil
+}
+
+// quarantine moves an unusable cache file aside as <name>.corrupt (so the
+// caller's re-simulation writes a fresh entry and the bad bytes remain
+// inspectable) and logs one warning line. Best-effort: if the rename
+// fails the file is removed so it cannot shadow the rewrite.
+func quarantine(path, reason string) {
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+		dst = "(removed)"
+	}
+	fmt.Fprintf(os.Stderr, "harness: quarantined cache file %s -> %s: %s\n",
+		filepath.Base(path), filepath.Base(dst), reason)
 }
 
 // diskStore writes the Result for the fingerprint, creating the directory

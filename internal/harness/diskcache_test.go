@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/config"
@@ -76,5 +77,78 @@ func TestDiskCacheVersionInvalidation(t *testing.T) {
 	}
 	if m := Metrics(); m.Executed != 1 {
 		t.Fatalf("stale entry was served: executed=%d, want re-simulation", m.Executed)
+	}
+}
+
+// TestDiskCacheQuarantine verifies that unusable cache files are moved
+// aside as *.corrupt — keeping corruption observable — while the caller
+// re-simulates and writes a fresh entry.
+func TestDiskCacheQuarantine(t *testing.T) {
+	defer ResetMetrics()
+	p := Params{Scale: 1, Config: config.Small(), Dilute: 60, CacheDir: t.TempDir()}
+	j := job{workload: "vecadd"}
+
+	corruptions := []struct {
+		name   string
+		mangle func(path string, body []byte)
+	}{
+		{"torn", func(path string, body []byte) {
+			// Truncated mid-write: invalid JSON.
+			os.WriteFile(path, body[:len(body)/2], 0o644)
+		}},
+		{"stale-version", func(path string, body []byte) {
+			os.WriteFile(path, append([]byte(nil),
+				[]byte(`{"version":-1,`+string(body[len(`{"version":1,`):]))...), 0o644)
+		}},
+		{"wrong-fingerprint", func(path string, body []byte) {
+			mangled := strings.Replace(string(body), `"fingerprint":"vecadd`,
+				`"fingerprint":"tampered`, 1)
+			if mangled == string(body) {
+				t.Fatal("fingerprint substring not found in cache entry")
+			}
+			os.WriteFile(path, []byte(mangled), 0o644)
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			ResetMetrics()
+			if _, err := memoRun(p, j); err != nil {
+				t.Fatal(err)
+			}
+			files, _ := filepath.Glob(filepath.Join(p.CacheDir, "vtsim-*.json"))
+			if len(files) != 1 {
+				t.Fatalf("cache dir holds %d entries, want 1", len(files))
+			}
+			body, err := os.ReadFile(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(files[0], body)
+
+			ResetMetrics()
+			if _, err := memoRun(p, j); err != nil {
+				t.Fatal(err)
+			}
+			if m := Metrics(); m.Executed != 1 {
+				t.Fatalf("bad entry was served: executed=%d, want re-simulation", m.Executed)
+			}
+			quarantined, _ := filepath.Glob(filepath.Join(p.CacheDir, "*.corrupt"))
+			if len(quarantined) != 1 {
+				t.Fatalf("found %d quarantined files, want 1", len(quarantined))
+			}
+			// The re-simulation rewrote a healthy entry alongside it.
+			files, _ = filepath.Glob(filepath.Join(p.CacheDir, "vtsim-*.json"))
+			if len(files) != 1 {
+				t.Fatalf("cache dir holds %d fresh entries after rewrite, want 1", len(files))
+			}
+			ResetMetrics()
+			if _, err := memoRun(p, j); err != nil {
+				t.Fatal(err)
+			}
+			if m := Metrics(); m.Executed != 0 || m.CacheHits != 1 {
+				t.Fatalf("rewritten entry not served: %+v", Metrics())
+			}
+			os.Remove(quarantined[0])
+		})
 	}
 }

@@ -7,14 +7,17 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/config"
+	"repro/internal/faultinject"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
 )
@@ -36,6 +39,30 @@ type Params struct {
 	// repeated invocations (profiling, bench re-runs, CI) skip
 	// already-simulated points. See diskcache.go.
 	CacheDir string
+
+	// Supervision (see supervisor.go).
+
+	// FailDir, when non-empty, receives one JSON repro bundle per run
+	// that fails after the retry ladder, instead of the failure aborting
+	// the sweep.
+	FailDir string
+	// RunTimeout bounds each simulation's wall-clock time; a run past the
+	// deadline aborts with a full diagnostic. Zero disables the bound.
+	RunTimeout time.Duration
+	// CheckInvariants runs every simulation with the gpu conservation-
+	// invariant checker enabled (see gpu.Options.CheckInvariants).
+	CheckInvariants bool
+	// Journal, when non-nil, records every executed run's outcome in the
+	// append-only completion journal, making the sweep resumable (see
+	// journal.go).
+	Journal *Journal
+	// Resume marks this sweep as resuming a journaled one: jobs the
+	// journal recorded as failed are counted in RunMetrics.ResumedFailed
+	// when they re-execute.
+	Resume bool
+	// Inject installs a deterministic fault into the matching run (tests
+	// and the CI supervisor drill). Nil in normal operation.
+	Inject *faultinject.Spec
 }
 
 // DefaultParams returns the evaluation defaults.
@@ -88,16 +115,24 @@ func Get(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (known: %v)", id, ids)
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment in order. A failing experiment no
+// longer aborts the sweep: the failure is reported inline, the remaining
+// experiments run, and the joined error is returned at the end (the
+// supervisor has already written any repro bundles by then).
 func RunAll(p Params, w io.Writer) error {
+	var errs []error
 	for _, e := range experiments {
 		fmt.Fprintf(w, "### %s — %s\n", e.ID, e.Title)
 		if e.Paper != "" {
 			fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
 		}
 		if err := RunOne(e, p, w); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			fmt.Fprintf(w, "EXPERIMENT FAILED %s: %v\n\n", e.ID, err)
+			errs = append(errs, fmt.Errorf("%s: %w", e.ID, err))
 		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("harness: %d experiment(s) failed: %w", len(errs), errors.Join(errs...))
 	}
 	return nil
 }
@@ -153,22 +188,25 @@ type key struct {
 
 // runMany executes all jobs with bounded parallelism and returns results
 // keyed by (workload, variant). Repeated simulation points are served
-// from the memo cache (see memo.go). Any simulation error aborts the
-// batch. Each run carries pprof labels so CPU profiles attribute samples
-// to the (workload, variant) that burned them.
+// from the memo cache (see memo.go). Every job runs even when earlier
+// ones fail — the supervisor turns failures into repro bundles — and the
+// per-job errors are joined (in job order) into the returned error, so a
+// partially failed batch still surfaces as a failure to its experiment.
+// Each run carries pprof labels so CPU profiles attribute samples to the
+// (workload, variant) that burned them.
 func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
 	results := make(map[key]*gpu.Result, len(jobs))
 	var mu sync.Mutex
-	var firstErr error
+	errs := make([]error, len(jobs))
 	sem := make(chan struct{}, p.workers())
 	var wg sync.WaitGroup
-	for _, j := range jobs {
+	for i, j := range jobs {
 		// Take the semaphore slot before spawning, so at most `workers`
 		// goroutines exist at a time (a 590-job RunAll used to park
 		// hundreds of them on this channel).
 		sem <- struct{}{}
 		wg.Add(1)
-		go func(j job) {
+		go func(i int, j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			var res *gpu.Result
@@ -177,19 +215,17 @@ func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
 			pprof.Do(currentLabelCtx(), labels, func(context.Context) {
 				res, err = memoRun(p, j)
 			})
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", j.workload, j.variant, err)
-				}
+				errs[i] = fmt.Errorf("%s/%s: %w", j.workload, j.variant, err)
 				return
 			}
+			mu.Lock()
 			results[key{j.workload, j.variant}] = res
-		}(j)
+			mu.Unlock()
+		}(i, j)
 	}
 	wg.Wait()
-	return results, firstErr
+	return results, errors.Join(errs...)
 }
 
 // policyJobs builds one job per (workload, policy) pair.

@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The completion journal makes sweeps resumable. Every executed run
+// appends one JSON line recording its outcome; the disk cache (see
+// diskcache.go) holds the Results themselves. A later invocation opened
+// with resume=true reads the journal to report what already completed —
+// successful runs are disk-cache hits, failed runs were never cached and
+// so re-execute naturally — and RunMetrics.ResumedFailed counts the
+// re-runs so "only the failed jobs were redone" is checkable.
+//
+// File format (JSONL): the first line is a header {"meta": {...}}
+// identifying the sweep shape (journal version, scale, dilution, config
+// name); every following line is one JournalEntry. Append-only: a
+// crashed sweep leaves a valid prefix, and a torn final line is skipped
+// on load.
+
+// journalVersion invalidates journals when the line format changes.
+const journalVersion = 1
+
+// JournalMeta identifies the sweep a journal belongs to. A resume whose
+// parameters produce a different meta is refused: its fingerprints would
+// not line up with the journal's entries.
+type JournalMeta struct {
+	Version int    `json:"version"`
+	Scale   int    `json:"scale"`
+	Dilute  int    `json:"dilute"`
+	Config  string `json:"config"`
+}
+
+// JournalEntry records one executed run's outcome.
+type JournalEntry struct {
+	// FP is the run's cache key (see cacheKey): the hex id that also
+	// names its disk-cache file.
+	FP       string `json:"fp"`
+	Workload string `json:"workload"`
+	Variant  string `json:"variant,omitempty"`
+	// Status is "ok", "degraded" (succeeded on the safe-mode retry), or
+	// "failed".
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+	Cycles   int64  `json:"cycles,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Time     string `json:"time"`
+}
+
+// journalHeader is the first line of the file.
+type journalHeader struct {
+	Meta JournalMeta `json:"meta"`
+}
+
+// Journal is an append-only completion journal. Safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	status map[string]string // cache key -> latest status
+}
+
+// OpenJournal opens (creating if needed) the journal at path for the
+// sweep described by meta. An existing journal written by a different
+// sweep is rotated aside to path+".old" when resume is false, and refused
+// with an error when resume is true. resume additionally requires the
+// journal to exist: resuming nothing is almost certainly a flag mistake.
+func OpenJournal(path string, meta JournalMeta, resume bool) (*Journal, error) {
+	meta.Version = journalVersion
+	jl := &Journal{status: map[string]string{}}
+
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: create journal dir: %w", err)
+		}
+	}
+	existing, err := os.Open(path)
+	switch {
+	case err == nil:
+		prior, perr := jl.load(existing, meta)
+		existing.Close()
+		if perr != nil {
+			if resume {
+				return nil, perr
+			}
+			// Fresh sweep over a foreign or damaged journal: keep the old
+			// bytes inspectable, start over.
+			os.Rename(path, path+".old")
+			jl.status = map[string]string{}
+			prior = false
+		}
+		if !prior {
+			if err := jl.writeHeader(path, meta); err != nil {
+				return nil, err
+			}
+			return jl, nil
+		}
+	case os.IsNotExist(err):
+		if resume {
+			return nil, fmt.Errorf("harness: nothing to resume: no journal at %s", path)
+		}
+		if err := jl.writeHeader(path, meta); err != nil {
+			return nil, err
+		}
+		return jl, nil
+	default:
+		return nil, fmt.Errorf("harness: open journal: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: open journal: %w", err)
+	}
+	jl.f = f
+	return jl, nil
+}
+
+// writeHeader starts a fresh journal file containing only the meta line.
+func (jl *Journal) writeHeader(path string, meta JournalMeta) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("harness: create journal: %w", err)
+	}
+	b, err := json.Marshal(journalHeader{Meta: meta})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("harness: write journal header: %w", err)
+	}
+	jl.f = f
+	return nil
+}
+
+// load replays an existing journal into the status map, reporting whether
+// it belongs to the sweep described by want. A torn final line (crashed
+// writer) is ignored; a missing or mismatched header is an error.
+func (jl *Journal) load(f *os.File, want JournalMeta) (bool, error) {
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		return false, fmt.Errorf("harness: journal %s is empty", f.Name())
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Meta.Version == 0 {
+		return false, fmt.Errorf("harness: journal %s has no valid header line", f.Name())
+	}
+	if hdr.Meta != want {
+		return false, fmt.Errorf("harness: journal %s belongs to a different sweep: recorded %+v, want %+v",
+			f.Name(), hdr.Meta, want)
+	}
+	for sc.Scan() {
+		var e JournalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.FP == "" {
+			continue // torn trailing line from a crashed writer
+		}
+		jl.status[e.FP] = e.Status
+	}
+	return true, nil
+}
+
+// Record appends one entry. Best-effort on the file write (a journal that
+// cannot be written must not fail the sweep); the in-memory status map is
+// always updated.
+func (jl *Journal) Record(e JournalEntry) {
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format(time.RFC3339)
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	jl.status[e.FP] = e.Status
+	if jl.f == nil {
+		return
+	}
+	if b, err := json.Marshal(&e); err == nil {
+		jl.f.Write(append(b, '\n'))
+	}
+}
+
+// Status returns the recorded status for a cache key ("" = never run).
+func (jl *Journal) Status(fpKey string) string {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.status[fpKey]
+}
+
+// Summary counts recorded outcomes by status.
+func (jl *Journal) Summary() (ok, degraded, failed int) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	for _, st := range jl.status {
+		switch st {
+		case "ok":
+			ok++
+		case "degraded":
+			degraded++
+		case "failed":
+			failed++
+		}
+	}
+	return ok, degraded, failed
+}
+
+// Close flushes and closes the journal file.
+func (jl *Journal) Close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return nil
+	}
+	err := jl.f.Close()
+	jl.f = nil
+	return err
+}

@@ -7,8 +7,6 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/gpu"
-	"repro/internal/isa"
-	"repro/internal/kernels"
 )
 
 // The harness memoizes simulation runs: many experiments re-simulate the
@@ -39,6 +37,27 @@ type RunMetrics struct {
 	// SimCycles totals the simulated cycles of the executed runs; cache
 	// hits add nothing. Divide by wall time for simcycles/s.
 	SimCycles int64
+
+	// Supervisor counters (see supervisor.go). A retried run still counts
+	// once in Executed, so CacheHits = Requests - Executed stays valid.
+
+	// Panics counts first attempts that panicked; InvariantTrips counts
+	// first attempts aborted by the invariant checker; Deadlines counts
+	// first attempts aborted by the wall-clock deadline.
+	Panics         int
+	InvariantTrips int
+	Deadlines      int
+	// Retries counts safe-mode retries attempted after a panic or
+	// invariant trip; Degraded counts runs whose result came from such a
+	// retry (fast path and parallel engine disabled).
+	Retries  int
+	Degraded int
+	// Failures counts runs that still failed after the retry ladder and
+	// became RunFailure repro bundles.
+	Failures int
+	// ResumedFailed counts executed jobs that a resumed sweep's journal
+	// had recorded as failed — the jobs -resume exists to re-run.
+	ResumedFailed int
 }
 
 type memoEntry struct {
@@ -96,7 +115,7 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 	fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg)
 	if err != nil {
 		// Unfingerprintable config: fall back to an unmemoized run.
-		return executeRun(p, j.workload, cfg)
+		return supervisedExecute(p, j, cfg, "")
 	}
 	memoMu.Lock()
 	memoStats.Requests++
@@ -107,7 +126,11 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 	}
 	memoMu.Unlock()
 	e.once.Do(func() {
-		if p.CacheDir != "" {
+		// Fault-injected runs bypass the disk cache in both directions: a
+		// cached hit would skip the fault, and a faulted (or degraded)
+		// outcome must never be served to an un-injected sweep.
+		injected := p.Inject != nil && p.Inject.Matches(j.workload, j.variant)
+		if p.CacheDir != "" && !injected {
 			if res := diskLoad(p.CacheDir, fp); res != nil {
 				// A disk hit is a cache hit: Executed and SimCycles stay
 				// untouched, so simcycles/s reflects real simulation work.
@@ -115,37 +138,18 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 				return
 			}
 		}
-		e.res, e.err = executeRun(p, j.workload, cfg)
+		e.res, e.err = supervisedExecute(p, j, cfg, fp)
 		memoMu.Lock()
 		memoStats.Executed++
 		if e.err == nil {
 			memoStats.SimCycles += e.res.Cycles
 		}
 		memoMu.Unlock()
-		if p.CacheDir != "" && e.err == nil {
+		if p.CacheDir != "" && e.err == nil && !injected {
 			diskStore(p.CacheDir, fp, e.res)
 		}
 	})
 	return e.res, e.err
-}
-
-// executeRun builds the workload and performs one simulation.
-func executeRun(p Params, workload string, cfg config.GPUConfig) (*gpu.Result, error) {
-	w, err := kernels.Build(workload, p.Scale)
-	if err != nil {
-		return nil, err
-	}
-	if p.Dilute > 1 {
-		g := w.Launch.GridDim.Size() / p.Dilute
-		if g < 8 {
-			g = 8
-		}
-		w.Launch.GridDim = isa.Dim1(g)
-	}
-	return gpu.Run(w.Launch, cfg, gpu.Options{
-		InitMemory:  w.Init,
-		Parallelism: p.runParallelism(),
-	})
 }
 
 // runParallelism picks the intra-run worker count for one simulation.

@@ -1,0 +1,289 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+// The run supervisor wraps every simulation the harness executes:
+//
+//   - a panic anywhere in the engine (worker panics are re-raised on the
+//     coordinator goroutine) is recovered with its stack instead of
+//     killing the whole sweep;
+//   - Params.RunTimeout bounds each run's wall-clock time through
+//     gpu.Options.Ctx;
+//   - a run that panicked or tripped an invariant is retried once in safe
+//     mode (DisableIssueFastPath, Parallelism=1) — those two failure
+//     classes are the ones a fast-path or parallel-engine bug can cause,
+//     and the safe engine path cannot hit them. The downgrade is counted
+//     in RunMetrics and surfaced in the final report;
+//   - a run that still fails becomes a RunFailure: a structured repro
+//     bundle (fingerprint, config JSON, stack, AbortDiagnostic) written
+//     to Params.FailDir, while the rest of the sweep keeps running.
+
+// RunFailure is the forensic record of one simulation that failed after
+// the retry ladder. It is what a repro bundle contains.
+type RunFailure struct {
+	Workload    string `json:"workload"`
+	Variant     string `json:"variant,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	// Config is the exact hardware configuration of the failed run, so
+	// the bundle alone reproduces it.
+	Config json.RawMessage `json:"config,omitempty"`
+	Scale  int             `json:"scale"`
+	Dilute int             `json:"dilute,omitempty"`
+
+	Error string `json:"error"`
+	// Stack is the goroutine stack at panic recovery (panics only).
+	Stack string `json:"stack,omitempty"`
+	// Diagnostic is the gpu abort snapshot (deadlock/max-cycles/deadline/
+	// invariant aborts only).
+	Diagnostic *gpu.AbortDiagnostic `json:"diagnostic,omitempty"`
+
+	Attempts        int    `json:"attempts"`
+	SafeModeRetried bool   `json:"safe_mode_retried"`
+	SafeModeError   string `json:"safe_mode_error,omitempty"`
+	Time            string `json:"time"`
+}
+
+// FailedRunError is the error a supervised run returns after exhausting
+// the retry ladder; runMany joins these into the sweep error while the
+// remaining jobs keep running.
+type FailedRunError struct {
+	Failure *RunFailure
+}
+
+func (e *FailedRunError) Error() string {
+	f := e.Failure
+	return fmt.Sprintf("harness: run %s/%s failed after %d attempt(s): %s",
+		f.Workload, f.Variant, f.Attempts, f.Error)
+}
+
+// attempt is the outcome of one supervised gpu.Run attempt.
+type attempt struct {
+	res      *gpu.Result
+	err      error
+	panicked bool
+	stack    string
+}
+
+// runAttempt performs one simulation attempt under panic recovery. The
+// workload is rebuilt from scratch each attempt: a panicked run may have
+// left its launch state half-mutated.
+func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool) (a attempt) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.res = nil
+			a.err = fmt.Errorf("panic: %v", r)
+			a.panicked = true
+			a.stack = string(debug.Stack())
+		}
+	}()
+	w, err := kernels.Build(j.workload, p.Scale)
+	if err != nil {
+		a.err = err
+		return
+	}
+	if p.Dilute > 1 {
+		g := w.Launch.GridDim.Size() / p.Dilute
+		if g < 8 {
+			g = 8
+		}
+		w.Launch.GridDim = isa.Dim1(g)
+	}
+	opts := gpu.Options{
+		InitMemory:      w.Init,
+		Parallelism:     p.runParallelism(),
+		CheckInvariants: p.CheckInvariants,
+	}
+	if safeMode {
+		opts.DisableIssueFastPath = true
+		opts.Parallelism = 1
+	}
+	if sp := p.Inject; sp != nil && sp.Matches(j.workload, j.variant) {
+		n := 0
+		if safeMode {
+			n = 1
+		}
+		opts.FaultHook = sp.Hook(n)
+		// Injected corruption must be caught, not silently folded into
+		// results, so injected runs always check invariants.
+		opts.CheckInvariants = true
+	}
+	if p.RunTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), p.RunTimeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
+	a.res, a.err = gpu.Run(w.Launch, cfg, opts)
+	return a
+}
+
+// retryable reports whether a failed attempt warrants the safe-mode
+// retry. Deadlocks, cycle budgets, and wall-clock deadlines are properties
+// of the simulated kernel, not the engine path, so retrying them would
+// only double the cost of the same failure.
+func retryable(a attempt) bool {
+	if a.panicked {
+		return true
+	}
+	d := gpu.DiagnosticOf(a.err)
+	return d != nil && d.Reason == gpu.ReasonInvariant
+}
+
+// bumpMetric applies a counter update under the metrics lock.
+func bumpMetric(f func(*RunMetrics)) {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	f(&memoStats)
+}
+
+// countFirstFailure classifies a first-attempt failure into the metrics.
+func countFirstFailure(a attempt) {
+	bumpMetric(func(m *RunMetrics) {
+		switch d := gpu.DiagnosticOf(a.err); {
+		case a.panicked:
+			m.Panics++
+		case d != nil && d.Reason == gpu.ReasonInvariant:
+			m.InvariantTrips++
+		case d != nil && d.Reason == gpu.ReasonDeadline:
+			m.Deadlines++
+		}
+	})
+}
+
+// supervisedExecute runs one job through the supervisor: attempt, retry
+// ladder, journaling, and repro-bundle emission. fp may be empty when the
+// config was unfingerprintable (journaling is skipped then).
+func supervisedExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result, error) {
+	if p.Resume && p.Journal != nil && fp != "" &&
+		p.Journal.Status(cacheKey(fp)) == "failed" {
+		bumpMetric(func(m *RunMetrics) { m.ResumedFailed++ })
+	}
+
+	first := runAttempt(p, j, cfg, false)
+	if first.err == nil {
+		p.journalRecord(j, fp, "ok", 1, first.res, nil)
+		return first.res, nil
+	}
+	countFirstFailure(first)
+
+	attempts := 1
+	retried := false
+	var second attempt
+	if retryable(first) {
+		bumpMetric(func(m *RunMetrics) { m.Retries++ })
+		retried = true
+		second = runAttempt(p, j, cfg, true)
+		attempts = 2
+		if second.err == nil {
+			// The safe path succeeded where the fast path / parallel
+			// engine failed: record the downgrade and keep the sweep
+			// moving with the safe result.
+			bumpMetric(func(m *RunMetrics) { m.Degraded++ })
+			p.journalRecord(j, fp, "degraded", attempts, second.res, nil)
+			return second.res, nil
+		}
+	}
+
+	f := &RunFailure{
+		Workload:        j.workload,
+		Variant:         j.variant,
+		Fingerprint:     fp,
+		Scale:           p.Scale,
+		Dilute:          p.Dilute,
+		Error:           first.err.Error(),
+		Stack:           first.stack,
+		Diagnostic:      gpu.DiagnosticOf(first.err),
+		Attempts:        attempts,
+		SafeModeRetried: retried,
+		Time:            time.Now().UTC().Format(time.RFC3339),
+	}
+	if retried {
+		f.SafeModeError = second.err.Error()
+		if f.Stack == "" {
+			f.Stack = second.stack
+		}
+		if f.Diagnostic == nil {
+			f.Diagnostic = gpu.DiagnosticOf(second.err)
+		}
+	}
+	if b, err := json.Marshal(&cfg); err == nil {
+		f.Config = b
+	}
+	writeBundle(p.FailDir, f)
+	bumpMetric(func(m *RunMetrics) { m.Failures++ })
+	p.journalRecord(j, fp, "failed", attempts, nil, first.err)
+	return nil, &FailedRunError{Failure: f}
+}
+
+// journalRecord appends the run's outcome to the completion journal, when
+// one is attached and the run was fingerprintable.
+func (p Params) journalRecord(j job, fp, status string, attempts int, res *gpu.Result, err error) {
+	if p.Journal == nil || fp == "" {
+		return
+	}
+	e := JournalEntry{
+		FP:       cacheKey(fp),
+		Workload: j.workload,
+		Variant:  j.variant,
+		Status:   status,
+		Attempts: attempts,
+	}
+	if res != nil {
+		e.Cycles = res.Cycles
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	p.Journal.Record(e)
+}
+
+// writeBundle persists a repro bundle into dir as one pretty-printed JSON
+// file. Best-effort: failing to record a failure must not mask it.
+func writeBundle(dir string, f *RunFailure) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return
+	}
+	name := fmt.Sprintf("failure-%s-%s.json",
+		sanitizeName(f.Workload), sanitizeName(f.Variant))
+	if f.Fingerprint != "" {
+		name = fmt.Sprintf("failure-%s-%s-%s.json",
+			sanitizeName(f.Workload), sanitizeName(f.Variant), cacheKey(f.Fingerprint)[:12])
+	}
+	os.WriteFile(filepath.Join(dir, name), append(b, '\n'), 0o644)
+}
+
+// sanitizeName makes a workload/variant label filename-safe.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "run"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
