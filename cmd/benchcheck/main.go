@@ -18,7 +18,13 @@ import (
 	"os"
 )
 
-// report mirrors the subset of vtbench's -json document benchcheck reads.
+// report mirrors the subset of vtbench's -json document benchcheck
+// reads. encoding/json ignores fields the struct doesn't declare, so
+// reports from newer vtbench versions (schema_version, telemetry
+// aggregates, future additions) check cleanly against old baselines and
+// vice versa — benchcheck_test.go pins that property. Decoding stays
+// deliberately schema-version-agnostic: the two fields read here have
+// kept their meaning across every version.
 type report struct {
 	SimCycles       int64   `json:"sim_cycles"`
 	SimCyclesPerSec float64 `json:"simcycles_per_sec"`

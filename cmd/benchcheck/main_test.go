@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadToleratesUnknownFields pins benchcheck's forward/backward
+// compatibility: a report carrying fields this binary has never heard of
+// (newer schema_version, telemetry aggregates) must still load, and the
+// fields benchcheck gates on must come through intact. Old committed
+// baselines likewise keep working as vtbench's -json document grows.
+func TestLoadToleratesUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	doc := `{
+		"schema_version": 99,
+		"sim_cycles": 1000,
+		"simcycles_per_sec": 2500.5,
+		"telemetry_windows": 42,
+		"telemetry_spans": 7,
+		"some_future_field": {"nested": [1, 2, 3]}
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := load(path)
+	if err != nil {
+		t.Fatalf("unknown fields must not break loading: %v", err)
+	}
+	if r.SimCycles != 1000 || r.SimCyclesPerSec != 2500.5 {
+		t.Fatalf("known fields mangled: %+v", r)
+	}
+}
+
+// TestLoadMissingFields: an old baseline lacking fields decodes to
+// zeros, which main() then rejects explicitly rather than dividing by
+// zero — check the decode half here.
+func TestLoadMissingFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, []byte(`{"date": "2025-01-01"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SimCycles != 0 || r.SimCyclesPerSec != 0 {
+		t.Fatalf("missing fields must decode to zero: %+v", r)
+	}
+}

@@ -12,6 +12,8 @@
 //	vtbench -cpuprofile cpu.pprof     # profile, labeled by experiment/workload/variant
 //	vtbench -faildir failures         # write repro bundles for failed runs
 //	vtbench -cachedir c -resume       # continue an interrupted/failed sweep
+//	vtbench -monitor :8080            # live sweep progress (HTML + /status JSON)
+//	vtbench -telemetry                # collect per-run telemetry (totals in -json)
 //
 // Exit codes: 0 on success, 1 on a fatal setup error, 3 when the sweep
 // completed but one or more runs failed (repro bundles in -faildir, the
@@ -23,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -47,25 +51,35 @@ type expReport struct {
 	Error           string  `json:"error,omitempty"`
 }
 
+// benchReportSchemaVersion identifies the -json layout. Consumers
+// (cmd/benchcheck) decode with encoding/json, which ignores unknown
+// fields, so adding fields never breaks old baselines; bump this only
+// for changes that alter the meaning of existing fields.
+const benchReportSchemaVersion = 2
+
 // benchReport is the top-level -json document.
 type benchReport struct {
-	Date            string      `json:"date"`
-	GoVersion       string      `json:"go_version"`
-	GOMAXPROCS      int         `json:"gomaxprocs"`
-	Scale           int         `json:"scale"`
-	Dilute          int         `json:"dilute"`
-	Workers         int         `json:"workers"`
-	TotalWallSec    float64     `json:"total_wall_seconds"`
-	RunsRequested   int         `json:"runs_requested"`
-	RunsExecuted    int         `json:"runs_executed"`
-	CacheHits       int         `json:"cache_hits"`
-	SimCycles       int64       `json:"sim_cycles"`
-	SimCyclesPerSec float64     `json:"simcycles_per_sec"`
+	SchemaVersion   int     `json:"schema_version"`
+	Date            string  `json:"date"`
+	GoVersion       string  `json:"go_version"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Scale           int     `json:"scale"`
+	Dilute          int     `json:"dilute"`
+	Workers         int     `json:"workers"`
+	TotalWallSec    float64 `json:"total_wall_seconds"`
+	RunsRequested   int     `json:"runs_requested"`
+	RunsExecuted    int     `json:"runs_executed"`
+	CacheHits       int     `json:"cache_hits"`
+	SimCycles       int64   `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"simcycles_per_sec"`
 	// Supervisor outcome counters (zero on a clean sweep).
 	RunsRetried   int `json:"runs_retried,omitempty"`
 	RunsDegraded  int `json:"runs_degraded,omitempty"`
 	RunsFailed    int `json:"runs_failed,omitempty"`
 	ResumedFailed int `json:"resumed_failed,omitempty"`
+	// Telemetry aggregates (-telemetry sweeps only).
+	TelemetryWindows int64 `json:"telemetry_windows,omitempty"`
+	TelemetrySpans   int64 `json:"telemetry_spans,omitempty"`
 
 	Experiments []expReport `json:"experiments"`
 }
@@ -89,6 +103,8 @@ func realMain() int {
 		checkInv   = flag.Bool("checkinvariants", false, "run every simulation with the conservation-invariant checker")
 		injectSpec = flag.String("inject", "", "inject a deterministic fault: workload[/variant]@cycle:kind (kind: panic, panic-once, corrupt, hang=<dur>)")
 		resume     = flag.Bool("resume", false, "resume an interrupted or partially failed sweep from the -cachedir journal")
+		telemetry  = flag.Bool("telemetry", false, "attach a telemetry collector to every executed run (window/span totals land in -json)")
+		monitor    = flag.String("monitor", "", "serve live sweep progress (HTML + /status JSON) on this address, e.g. :8080")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -139,6 +155,17 @@ func realMain() int {
 	p.FailDir = *failDir
 	p.RunTimeout = *timeout
 	p.CheckInvariants = *checkInv
+	p.Telemetry = *telemetry
+
+	if *monitor != "" {
+		ln, err := net.Listen("tcp", *monitor)
+		if err != nil {
+			return fatalf("monitor: %v", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "vtbench: monitor on http://%s/\n", ln.Addr())
+		go http.Serve(ln, harness.MonitorHandler())
+	}
 
 	if *injectSpec != "" {
 		sp, err := faultinject.Parse(*injectSpec)
@@ -178,12 +205,13 @@ func realMain() int {
 	}
 
 	report := benchReport{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Scale:      *scale,
-		Dilute:     *dilute,
-		Workers:    *workers,
+		SchemaVersion: benchReportSchemaVersion,
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Scale:         *scale,
+		Dilute:        *dilute,
+		Workers:       *workers,
 	}
 	exitCode := 0
 	start := time.Now()
@@ -230,6 +258,8 @@ func realMain() int {
 	report.RunsDegraded = m.Degraded
 	report.RunsFailed = m.Failures
 	report.ResumedFailed = m.ResumedFailed
+	report.TelemetryWindows = m.TelemetryWindows
+	report.TelemetrySpans = m.TelemetrySpans
 	if report.TotalWallSec > 0 {
 		report.SimCyclesPerSec = float64(m.SimCycles) / report.TotalWallSec
 	}

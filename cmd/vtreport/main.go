@@ -1,15 +1,19 @@
 // Command vtreport prints the static occupancy analysis for the workload
 // suite (or one workload): how many CTAs fit under each hardware
 // constraint, which limit binds, and how much thread-level parallelism the
-// scheduling limit strands — the paper's motivating analysis.
+// scheduling limit strands — the paper's motivating analysis. With -rings
+// it instead renders the timeline summary of a telemetry ring dump
+// (vtsim -telemetry): the occupancy ramp and the swap-rate phases.
 //
 // Usage:
 //
-//	vtreport               # whole suite
-//	vtreport -workload nw  # one workload, with the per-constraint breakdown
+//	vtreport                    # whole suite
+//	vtreport -workload nw       # one workload, with the per-constraint breakdown
+//	vtreport -rings dump.json   # timeline summary of a telemetry ring dump
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,14 +22,24 @@ import (
 	"repro/internal/cta"
 	"repro/internal/kernels"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
 		workload = flag.String("workload", "", "analyze one workload in detail")
 		scale    = flag.Int("scale", 1, "grid size multiplier")
+		rings    = flag.String("rings", "", "render the timeline summary of a telemetry ring dump (vtsim -telemetry)")
 	)
 	flag.Parse()
+
+	if *rings != "" {
+		if err := ringsReport(*rings); err != nil {
+			fmt.Fprintf(os.Stderr, "vtreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := vtsim.GTX480()
 
@@ -71,4 +85,143 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// loadDump reads a telemetry ring dump written by vtsim -telemetry.
+func loadDump(path string) (*telemetry.Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d telemetry.Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.GPU) == 0 {
+		return nil, fmt.Errorf("%s: dump has no windows", path)
+	}
+	return &d, nil
+}
+
+// ringsReport renders the per-workload timeline summary of one ring
+// dump: when occupancy finished ramping, and how the run divides into
+// swap-rate phases (idle / low / high relative to the peak rate).
+func ringsReport(path string) error {
+	d, err := loadDump(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("telemetry timeline: %s under %s — %d SMs, %d cycles, %d windows\n\n",
+		d.Kernel, d.Policy, d.NumSMs, d.Cycles, len(d.GPU))
+
+	// Occupancy ramp: the first window where active warps reach 90% of
+	// their peak marks the end of the launch ramp.
+	peakWarps := 0
+	for _, w := range d.GPU {
+		if w.ActiveWarps > peakWarps {
+			peakWarps = w.ActiveWarps
+		}
+	}
+	rampEnd := int64(-1)
+	for _, w := range d.GPU {
+		if w.ActiveWarps*10 >= peakWarps*9 {
+			rampEnd = w.Cycle
+			break
+		}
+	}
+	if rampEnd >= 0 && d.Cycles > 0 {
+		fmt.Printf("occupancy ramp: peak %d active warps, reached 90%% by cycle %d (%.1f%% of the run)\n",
+			peakWarps, rampEnd, 100*float64(rampEnd)/float64(d.Cycles))
+	}
+
+	// Swap-rate phases: consecutive windows with the same level (idle:
+	// no swaps; high: at least half the peak per-cycle swap rate; low:
+	// in between) collapse into one phase row.
+	level := func(w telemetry.Window) string {
+		if w.SwapsOut == 0 {
+			return "idle"
+		}
+		return "low"
+	}
+	peakRate := 0.0
+	for _, w := range d.GPU {
+		if w.Cycles > 0 {
+			if r := float64(w.SwapsOut) / float64(w.Cycles); r > peakRate {
+				peakRate = r
+			}
+		}
+	}
+	if peakRate > 0 {
+		level = func(w telemetry.Window) string {
+			switch r := float64(w.SwapsOut) / float64(w.Cycles); {
+			case w.SwapsOut == 0:
+				return "idle"
+			case r >= peakRate/2:
+				return "high"
+			default:
+				return "low"
+			}
+		}
+	}
+	type phase struct {
+		start, end telemetry.Window
+		level      string
+		agg        telemetry.Window
+	}
+	var phases []phase
+	for _, w := range d.GPU {
+		lv := level(w)
+		if n := len(phases); n > 0 && phases[n-1].level == lv {
+			phases[n-1].end = w
+			phases[n-1].agg = telemetry.MergeWindows(phases[n-1].agg, w)
+		} else {
+			phases = append(phases, phase{start: w, end: w, level: lv, agg: w})
+		}
+	}
+	t := stats.NewTable("swap-rate phases",
+		"cycles", "level", "swaps out/in", "IPC", "act warps", "res warps", "swaps/kcyc")
+	for _, p := range phases {
+		rate := 0.0
+		if p.agg.Cycles > 0 {
+			rate = 1000 * float64(p.agg.SwapsOut) / float64(p.agg.Cycles)
+		}
+		t.Rowf(fmt.Sprintf("%d..%d", p.start.Cycle-p.start.Cycles, p.end.Cycle),
+			p.level, fmt.Sprintf("%d/%d", p.agg.SwapsOut, p.agg.SwapsIn),
+			stats.F3(p.agg.IPC()), p.end.ActiveWarps, p.end.ResidentWarps,
+			fmt.Sprintf("%.2f", rate))
+	}
+	t.Fprint(os.Stdout)
+
+	// Bounded timeline table: the ring rebucketed to at most 16 rows.
+	ws := telemetry.Rebucket(d.GPU, 16)
+	t = stats.NewTable("timeline (rebucketed)",
+		"cycles", "IPC", "act warps", "res warps", "swaps out", "L1 hit", "ctx bytes")
+	for i, w := range ws {
+		hit := "-"
+		if w.L1Accesses > 0 {
+			hit = stats.F3(float64(w.L1Hits) / float64(w.L1Accesses))
+		}
+		t.Rowf(fmt.Sprintf("%d..%d", w.Cycle-w.Cycles, w.Cycle), stats.F3(w.IPC()),
+			w.ActiveWarps, w.ResidentWarps, w.SwapsOut, hit, w.CtxBytes)
+		_ = i
+	}
+	if len(d.SwapLatency) > 0 {
+		// Buckets are emitted in ascending order, so the range is just
+		// first.Lo .. last.Hi.
+		var n int64
+		for _, b := range d.SwapLatency {
+			n += b.Count
+		}
+		lo := d.SwapLatency[0].Lo
+		if hi := d.SwapLatency[len(d.SwapLatency)-1].Hi; hi == -1 {
+			t.Note("swap latency: %d swaps, from %d cycles up (unbounded top bucket)", n, lo)
+		} else {
+			t.Note("swap latency: %d swaps across [%d..%d] cycles", n, lo, hi)
+		}
+	}
+	if d.SpansDropped > 0 {
+		t.Note("warning: %d spans dropped (raise telemetry MaxSpans)", d.SpansDropped)
+	}
+	t.Fprint(os.Stdout)
+	return nil
 }

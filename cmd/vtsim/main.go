@@ -30,6 +30,9 @@ func main() {
 		timeline = flag.Int64("timeline", 0, "sample occupancy every N cycles and print the series")
 		asJSON   = flag.Bool("json", false, "emit the full result as JSON")
 		traceOut = flag.String("trace", "", "write a JSONL event trace (CTA transitions + samples) to this file")
+		perfetto = flag.String("perfetto", "", "write a Chrome/Perfetto trace-event JSON timeline to this file")
+		teleOut  = flag.String("telemetry", "", "write the telemetry ring dump (windows, spans, histogram) as JSON to this file")
+		teleWin  = flag.Int64("telemetry-window", 0, "telemetry window length in cycles (0 = default)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -71,6 +74,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	var col *vtsim.Collector
+	if *perfetto != "" || *teleOut != "" {
+		col = vtsim.NewCollector(vtsim.TelemetryConfig{Window: *teleWin, PerSM: true})
+	}
 	var res *vtsim.Result
 	var err2 error
 	if *traceOut != "" {
@@ -81,10 +88,10 @@ func main() {
 		tw := trace.NewWriter(f)
 		tw.Emit(trace.Event{Kind: trace.KindRun, Marker: "start",
 			Kernel: w.Name, Policy: cfg.Policy.String()})
-		res, err2 = vtsim.RunTracedSampled(w, cfg, *timeline, func(e vtsim.TraceEvent) {
+		res, err2 = vtsim.RunCollected(w, cfg, *timeline, func(e vtsim.TraceEvent) {
 			tw.Emit(trace.Event{Cycle: e.Cycle, Kind: trace.KindCTA, SM: e.SM,
 				CTA: e.CTA, From: e.From.String(), To: e.To.String()})
-		})
+		}, col)
 		if err2 == nil {
 			for _, sp := range res.Timeline {
 				tw.Emit(trace.Event{Cycle: sp.Cycle, Kind: trace.KindSample,
@@ -100,10 +107,40 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", tw.Count(), *traceOut)
 	} else {
-		res, err2 = vtsim.RunSampled(w, cfg, *timeline)
+		res, err2 = vtsim.RunCollected(w, cfg, *timeline, nil, col)
 	}
 	if err2 != nil {
 		fatalf("%v", err2)
+	}
+
+	if *perfetto != "" {
+		f, ferr := os.Create(*perfetto)
+		if ferr != nil {
+			fatalf("%v", ferr)
+		}
+		if err := col.WritePerfetto(f); err != nil {
+			fatalf("perfetto: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("perfetto: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "perfetto: wrote %s (open at ui.perfetto.dev)\n", *perfetto)
+	}
+	if *teleOut != "" {
+		f, ferr := os.Create(*teleOut)
+		if ferr != nil {
+			fatalf("%v", ferr)
+		}
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(col.Dump()); err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		windows, spans := col.Totals()
+		fmt.Fprintf(os.Stderr, "telemetry: wrote %d windows, %d spans to %s\n",
+			windows, spans, *teleOut)
 	}
 
 	if *asJSON {

@@ -34,13 +34,16 @@ type Stats struct {
 	ContextPeak     int   // peak context-buffer bytes in use on any SM
 }
 
-// TraceEvent records one CTA state transition for the swap-trace example.
+// TraceEvent records one CTA state transition for the swap-trace example
+// and the telemetry collector. Latency is the one-way swap latency the
+// transition pays (swap-outs and restore starts); 0 for free transitions.
 type TraceEvent struct {
-	Cycle int64
-	SM    int
-	CTA   int // flat CTA id
-	From  warp.CTAState
-	To    warp.CTAState
+	Cycle   int64
+	SM      int
+	CTA     int // flat CTA id
+	From    warp.CTAState
+	To      warp.CTAState
+	Latency int64
 }
 
 // Controller is the per-GPU Virtual Thread controller; it manages every
@@ -89,10 +92,28 @@ func NewController(g cta.Source, numSMs int, fullSwap bool) *Controller {
 
 var _ sm.Controller = (*Controller)(nil)
 
-func (v *Controller) trace(s *sm.SM, c *warp.CTA, from, to warp.CTAState) {
+func (v *Controller) trace(s *sm.SM, c *warp.CTA, from, to warp.CTAState, lat int64) {
 	if v.Trace != nil {
-		v.Trace(TraceEvent{Cycle: s.Ev.Now(), SM: s.ID, CTA: c.FlatID, From: from, To: to})
+		v.Trace(TraceEvent{Cycle: s.Ev.Now(), SM: s.ID, CTA: c.FlatID,
+			From: from, To: to, Latency: lat})
 	}
+}
+
+// CtxBytesUsed returns the context-buffer bytes currently held by
+// inactive CTAs on the given SM (telemetry gauge).
+func (v *Controller) CtxBytesUsed(smID int) int { return v.perSM[smID].ctxBytesUsed }
+
+// SwapsInFlight returns how many of the SM's context-buffer ports are
+// busy at now — swaps (in or out) still paying their latency (telemetry
+// gauge).
+func (v *Controller) SwapsInFlight(smID int, now int64) int {
+	n := 0
+	for _, t := range v.perSM[smID].ports {
+		if t > now {
+			n++
+		}
+	}
+	return n
 }
 
 // ctxBytesPerCTA returns the context-buffer footprint of one inactive CTA
@@ -211,20 +232,20 @@ func (v *Controller) activateCTA(s *sm.SM, c *warp.CTA, st *smState) {
 		s.Activate(c)
 		c.State = warp.CTARestoring
 		s.NoteCTAStateChanged(c)
-		v.trace(s, c, from, warp.CTARestoring)
+		v.trace(s, c, from, warp.CTARestoring, lat)
 		s.Ev.After(lat, func() {
 			s.WakeUp()
 			c.State = warp.CTAActive
 			c.ActivatedAt = s.Ev.Now()
 			s.NoteCTAStateChanged(c)
-			v.trace(s, c, warp.CTARestoring, warp.CTAActive)
+			v.trace(s, c, warp.CTARestoring, warp.CTAActive, 0)
 		})
 		return
 	}
 	// Fresh CTA: no context to restore.
 	s.Activate(c)
 	v.Stats.FreshActivates++
-	v.trace(s, c, from, warp.CTAActive)
+	v.trace(s, c, from, warp.CTAActive, 0)
 }
 
 // pickReady returns the ready CTA preferred by the activation policy, or
@@ -299,7 +320,7 @@ func (v *Controller) swapOut(s *sm.SM) {
 		st.ports[st.freePort(now)] = now + lat
 		v.Stats.SwapsOut++
 		v.Stats.SwapStallCycles += lat
-		v.trace(s, c, from, c.State)
+		v.trace(s, c, from, c.State, lat)
 		v.countInactive(s)
 		// Activate a replacement as soon as the context-buffer port
 		// frees.

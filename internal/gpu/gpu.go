@@ -14,6 +14,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/sm"
+	"repro/internal/telemetry"
 	"repro/internal/warp"
 )
 
@@ -181,6 +182,13 @@ type Options struct {
 	// cancellation aborts the run with an *AbortError (ReasonDeadline)
 	// carrying a full diagnostic of where the simulation stood.
 	Ctx context.Context
+	// Telemetry, when non-nil, attaches the collector to the run: it is
+	// wired into the sm.Probe hooks, the VT trace stream (teed with
+	// Trace), and the run loop's window pump, and it records per-window
+	// metric rings and lifecycle spans. The collector is a pure observer
+	// — results are bit-identical with and without one (tested) — and a
+	// nil collector costs nothing on the hot path.
+	Telemetry *telemetry.Collector
 	// FaultHook, when non-nil, runs at the top of every simulated cycle
 	// with the current cycle and the live SMs. It is the deterministic
 	// fault-injection seam the run supervisor's tests use to trigger
@@ -248,6 +256,31 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 	for i := range sms {
 		sms[i] = sm.New(i, &cfg, ev, msys, backing, len(launches), ctl)
 		sms[i].DisableFastPath = opts.DisableIssueFastPath
+	}
+
+	name := launches[0].Kernel.Name
+	for _, l := range launches[1:] {
+		name += "+" + l.Kernel.Name
+	}
+
+	if col := opts.Telemetry; col != nil {
+		col.Begin(cfg.NumSMs, name, cfg.Policy.String())
+		// Shard the L1 counters so per-SM hit rates exist even under the
+		// sequential engine; counters are additive and CollectStats folds
+		// them back, so run totals are unchanged.
+		msys.ShardStats()
+		for _, s := range sms {
+			s.Probe = col
+		}
+		if vt != nil {
+			user := vt.Trace
+			vt.Trace = func(e core.TraceEvent) {
+				col.VTTrace(e)
+				if user != nil {
+					user(e)
+				}
+			}
+		}
 	}
 
 	maxCycles := cfg.MaxCycles
@@ -356,24 +389,36 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		issued := eng.cycle()
 
 		next := cycle + 1
+		skipFrom := int64(-1)
 		if !issued && !opts.DisableIdleSkip && eng.quiescent() {
 			// Fast-forward across stall periods: nothing inside any SM
 			// can change state until the next scheduled event — in the
 			// shared queue or any SM's local writeback wheel.
 			if evNext, ok := eng.nextEvent(); ok && evNext > next {
 				next = evNext
-				for _, s := range sms {
-					if s.Asleep() {
-						continue // charged at wake, from sleptFrom
-					}
-					s.AccountSkipped(next - cycle - 1)
-				}
+				skipFrom = cycle + 1
 			} else if !ok {
 				// No events pending and nothing schedulable:
 				// the simulation cannot make progress.
 				return nil, newAbortError(diagnose(ReasonDeadlock, "", cycle),
 					fmt.Sprintf("gpu: kernel %q deadlocked at cycle %d",
 						launches[0].Kernel.Name, cycle), nil)
+			}
+		}
+		if col := opts.Telemetry; col != nil {
+			// Window boundaries inside a skipped span sample exact
+			// virtual statistics (sm.StatsAt charges the pending span
+			// into a copy) before the real charge lands below.
+			for col.NextBoundary() <= next {
+				col.Sample(sms, msys, vt, skipFrom)
+			}
+		}
+		if skipFrom >= 0 {
+			for _, s := range sms {
+				if s.Asleep() {
+					continue // charged at wake, from sleptFrom
+				}
+				s.AccountSkipped(next - cycle - 1)
 			}
 		}
 		if opts.SampleInterval > 0 {
@@ -396,6 +441,11 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 	for _, s := range sms {
 		s.WakeUp()
 	}
+	if col := opts.Telemetry; col != nil {
+		// After the wake loop, so every fast-forward span has been
+		// charged and its sleep span recorded.
+		col.Finish(cycle, sms, msys, vt)
+	}
 	if opts.CheckInvariants {
 		// Final end-of-run check: every skipped span has been charged, so
 		// the conservation invariants must hold exactly here.
@@ -406,10 +456,6 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		}
 	}
 
-	name := launches[0].Kernel.Name
-	for _, l := range launches[1:] {
-		name += "+" + l.Kernel.Name
-	}
 	res := &Result{
 		Kernel:     name,
 		Policy:     cfg.Policy,

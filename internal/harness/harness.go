@@ -63,6 +63,12 @@ type Params struct {
 	// Inject installs a deterministic fault into the matching run (tests
 	// and the CI supervisor drill). Nil in normal operation.
 	Inject *faultinject.Spec
+	// Telemetry attaches a telemetry collector to every executed
+	// simulation (see internal/telemetry) and folds its window/span
+	// totals into RunMetrics. The collector is a pure observer, so
+	// results — and therefore the memo/disk-cache fingerprints — are
+	// unchanged; cache hits skip simulation and record no telemetry.
+	Telemetry bool
 }
 
 // DefaultParams returns the evaluation defaults.
@@ -213,6 +219,8 @@ func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
 			var err error
 			labels := pprof.Labels("workload", j.workload, "variant", j.variant)
 			pprof.Do(currentLabelCtx(), labels, func(context.Context) {
+				beginJob(j)
+				defer endJob(j)
 				res, err = memoRun(p, j)
 			})
 			if err != nil {

@@ -58,6 +58,12 @@ type RunMetrics struct {
 	// ResumedFailed counts executed jobs that a resumed sweep's journal
 	// had recorded as failed — the jobs -resume exists to re-run.
 	ResumedFailed int
+
+	// TelemetryWindows and TelemetrySpans total the metric windows and
+	// lifecycle spans recorded by executed runs when Params.Telemetry is
+	// set (cache hits record none).
+	TelemetryWindows int64
+	TelemetrySpans   int64
 }
 
 type memoEntry struct {

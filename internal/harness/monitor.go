@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Live sweep monitoring (cmd/vtbench -monitor): runMany reports every
+// job's start and finish here, and MonitorHandler serves the current
+// sweep state — active jobs plus the RunMetrics counters — as JSON
+// (/status) and as a minimal self-refreshing HTML page (/). The monitor
+// is passive bookkeeping: a map update per job, nothing on the
+// simulation hot path.
+
+// MonitorSchemaVersion identifies the /status JSON layout.
+const MonitorSchemaVersion = 1
+
+type monitorState struct {
+	mu      sync.Mutex
+	started time.Time
+	active  map[key]time.Time // job -> start time
+}
+
+var mon = monitorState{active: map[key]time.Time{}}
+
+func beginJob(j job) {
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	if mon.started.IsZero() {
+		mon.started = time.Now()
+	}
+	mon.active[key{j.workload, j.variant}] = time.Now()
+}
+
+func endJob(j job) {
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	delete(mon.active, key{j.workload, j.variant})
+}
+
+// ActiveJob is one currently-running simulation in MonitorStatus.
+type ActiveJob struct {
+	Workload string  `json:"workload"`
+	Variant  string  `json:"variant"`
+	Seconds  float64 `json:"seconds"` // wall time since the job started
+}
+
+// MonitorStatus is the /status JSON document.
+type MonitorStatus struct {
+	SchemaVersion   int         `json:"schemaVersion"`
+	UptimeSeconds   float64     `json:"uptimeSeconds"`
+	Active          []ActiveJob `json:"active"`
+	Metrics         RunMetrics  `json:"metrics"`
+	SimCyclesPerSec float64     `json:"simCyclesPerSec"`
+}
+
+// Status snapshots the sweep for the monitor endpoint.
+func Status() MonitorStatus {
+	m := Metrics()
+	st := MonitorStatus{SchemaVersion: MonitorSchemaVersion, Metrics: m}
+	mon.mu.Lock()
+	now := time.Now()
+	if !mon.started.IsZero() {
+		st.UptimeSeconds = now.Sub(mon.started).Seconds()
+	}
+	for k, t0 := range mon.active {
+		st.Active = append(st.Active, ActiveJob{
+			Workload: k.Workload,
+			Variant:  k.Variant,
+			Seconds:  now.Sub(t0).Seconds(),
+		})
+	}
+	mon.mu.Unlock()
+	sort.Slice(st.Active, func(a, b int) bool {
+		if st.Active[a].Workload != st.Active[b].Workload {
+			return st.Active[a].Workload < st.Active[b].Workload
+		}
+		return st.Active[a].Variant < st.Active[b].Variant
+	})
+	if st.UptimeSeconds > 0 {
+		st.SimCyclesPerSec = float64(m.SimCycles) / st.UptimeSeconds
+	}
+	return st
+}
+
+// MonitorHandler returns the live-monitor HTTP handler: "/" is a
+// self-refreshing HTML summary, "/status" the JSON document.
+func MonitorHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Status())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		st := Status()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<!doctype html><html><head><meta http-equiv="refresh" content="2">`+
+			`<title>vtbench monitor</title></head><body><h1>vtbench sweep</h1>`)
+		fmt.Fprintf(w, "<p>uptime %.0fs — %d/%d runs executed (%d cache hits), %.0f simcycles/s</p>",
+			st.UptimeSeconds, st.Metrics.Executed, st.Metrics.Requests,
+			st.Metrics.CacheHits, st.SimCyclesPerSec)
+		if st.Metrics.Failures > 0 || st.Metrics.Degraded > 0 {
+			fmt.Fprintf(w, "<p>failures %d — degraded %d — retries %d</p>",
+				st.Metrics.Failures, st.Metrics.Degraded, st.Metrics.Retries)
+		}
+		if st.Metrics.TelemetryWindows > 0 {
+			fmt.Fprintf(w, "<p>telemetry: %d windows, %d spans</p>",
+				st.Metrics.TelemetryWindows, st.Metrics.TelemetrySpans)
+		}
+		fmt.Fprintf(w, "<h2>active (%d)</h2><ul>", len(st.Active))
+		for _, a := range st.Active {
+			fmt.Fprintf(w, "<li>%s/%s — %.1fs</li>",
+				html.EscapeString(a.Workload), html.EscapeString(a.Variant), a.Seconds)
+		}
+		fmt.Fprintf(w, "</ul><p><a href=%q>JSON</a></p></body></html>", "/status")
+	})
+	return mux
+}

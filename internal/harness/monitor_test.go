@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestMonitorHandler exercises the live-monitor endpoint end to end: run
+// a small sweep with telemetry on, then check /status serves coherent
+// JSON and / serves the self-refreshing HTML page.
+func TestMonitorHandler(t *testing.T) {
+	ResetMetrics()
+	p := DefaultParams()
+	p.Config = config.Small()
+	p.Dilute = 60
+	p.Telemetry = true
+	if _, err := runMany(p, policyJobs([]string{"bfs"},
+		[]config.Policy{config.PolicyBaseline, config.PolicyVT})); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(MonitorHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/status Content-Type = %q", ct)
+	}
+	var st MonitorStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("/status is not valid JSON: %v", err)
+	}
+	if st.SchemaVersion != MonitorSchemaVersion {
+		t.Errorf("schemaVersion = %d, want %d", st.SchemaVersion, MonitorSchemaVersion)
+	}
+	if st.Metrics.Executed < 2 {
+		t.Errorf("metrics.executed = %d, want >= 2", st.Metrics.Executed)
+	}
+	if st.Metrics.TelemetryWindows == 0 || st.Metrics.TelemetrySpans == 0 {
+		t.Errorf("telemetry totals empty: %d windows, %d spans",
+			st.Metrics.TelemetryWindows, st.Metrics.TelemetrySpans)
+	}
+	if len(st.Active) != 0 {
+		t.Errorf("no jobs should be active after the sweep: %+v", st.Active)
+	}
+
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	for _, want := range []string{"http-equiv=\"refresh\"", "vtbench sweep", "/status"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("monitor page missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+}

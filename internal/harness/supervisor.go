@@ -14,6 +14,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/telemetry"
 )
 
 // The run supervisor wraps every simulation the harness executes:
@@ -126,7 +127,19 @@ func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool) (a attempt
 		defer cancel()
 		opts.Ctx = ctx
 	}
+	var col *telemetry.Collector
+	if p.Telemetry {
+		col = telemetry.NewCollector(telemetry.Config{})
+		opts.Telemetry = col
+	}
 	a.res, a.err = gpu.Run(w.Launch, cfg, opts)
+	if col != nil && a.err == nil {
+		windows, spans := col.Totals()
+		bumpMetric(func(m *RunMetrics) {
+			m.TelemetryWindows += int64(windows)
+			m.TelemetrySpans += int64(spans)
+		})
+	}
 	return a
 }
 

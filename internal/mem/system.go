@@ -109,6 +109,34 @@ func (s *System) CollectStats() Stats {
 	return s.Stats
 }
 
+// PeekStats returns the current counter totals — shared Stats plus any
+// per-L1 shards — without folding or zeroing anything, so live observers
+// (telemetry windows) can read mid-run deltas without perturbing the
+// final CollectStats accounting. Call only between engine cycles: shard
+// counters are written by SM step goroutines during the step phase.
+func (s *System) PeekStats() Stats {
+	st := s.Stats
+	for _, c := range s.l1s {
+		if c.stats != &s.Stats {
+			st.L1Accesses += c.stats.L1Accesses
+			st.L1Hits += c.stats.L1Hits
+			st.L1MSHRMerges += c.stats.L1MSHRMerges
+			st.L1Rejects += c.stats.L1Rejects
+		}
+	}
+	return st
+}
+
+// L1ShardStats returns SM sm's private L1 counter shard, or a zero Stats
+// when sharding is off (see ShardStats). Like PeekStats it is a pure
+// read for use between engine cycles.
+func (s *System) L1ShardStats(sm int) Stats {
+	if c := s.l1s[sm]; c.stats != &s.Stats {
+		return *c.stats
+	}
+	return Stats{}
+}
+
 // AccessGlobal presents one coalesced line transaction from an SM. done
 // must be non-nil for reads and nil for writes. It reports false when the
 // transaction was rejected (L1 MSHRs full) and must be retried.

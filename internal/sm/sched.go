@@ -120,9 +120,9 @@ func (sc *scheduler) structural(w *warp.Warp) bool {
 // current warp states, weighted by n cycles. Used both for a no-issue
 // cycle (n=1) and for cycles the engine fast-forwards across (the SM is
 // quiescent, so the classification is constant over the skipped span).
-func (sc *scheduler) classifyStall(n int64) {
+func (sc *scheduler) classifyStall(st *Stats, n int64) {
 	if !sc.sm.DisableFastPath {
-		sc.classifyStallFast(n)
+		sc.classifyStallFast(st, n)
 		return
 	}
 	s := sc.sm
@@ -147,7 +147,6 @@ func (sc *scheduler) classifyStall(n int64) {
 			sawBar = true
 		}
 	}
-	st := &s.Stats
 	switch {
 	case !sawAny:
 		st.SlotIdle += n
@@ -169,7 +168,7 @@ func (sc *scheduler) classifyStall(n int64) {
 // slow version exactly, including its quirk that a ready warp contributes
 // only "saw any warp" — so a scheduler whose sole candidates are ready yet
 // unpicked lands in SlotIdle through the default arm.
-func (sc *scheduler) classifyStallFast(n int64) {
+func (sc *scheduler) classifyStallFast(st *Stats, n int64) {
 	s := sc.sm
 	sawStruct := false
 	if sc.nReady > 0 {
@@ -191,7 +190,6 @@ func (sc *scheduler) classifyStallFast(n int64) {
 			}
 		}
 	}
-	st := &s.Stats
 	switch {
 	case sc.nReady+sc.nMem+sc.nALU+sc.nBar == 0:
 		st.SlotIdle += n
@@ -375,12 +373,16 @@ func (sc *scheduler) issueOne() bool {
 // stall-slot samples per scheduler and the occupancy accumulators. The
 // engine only skips cycles when the SM is quiescent, so the classification
 // is the same for every skipped cycle.
-func (s *SM) AccountSkipped(n int64) {
-	s.Stats.Cycles += n
+func (s *SM) AccountSkipped(n int64) { s.accountSkippedInto(&s.Stats, n) }
+
+// accountSkippedInto is AccountSkipped targeting an arbitrary Stats, so
+// StatsAt can charge an in-progress span into a copy without touching
+// live state. classifyStall and the occupancy math only read SM state.
+func (s *SM) accountSkippedInto(st *Stats, n int64) {
+	st.Cycles += n
 	for _, sc := range s.schedulers {
-		sc.classifyStall(n)
+		sc.classifyStall(st, n)
 	}
-	st := &s.Stats
 	st.ActiveWarpAccum += n * int64(s.WarpsUsed)
 	st.ActiveCTAAccum += n * int64(s.ActiveCTAs)
 	st.ResidentCTAAccum += n * int64(len(s.Resident))
@@ -389,6 +391,30 @@ func (s *SM) AccountSkipped(n int64) {
 		rw += len(c.Warps)
 	}
 	st.ResidentWarpAccum += n * int64(rw)
+}
+
+// StatsAt returns a copy of the SM's statistics as they stand at the
+// start of cycle at, including charges the engine has deferred: an
+// in-progress per-SM fast-forward span (the SM is asleep and WakeUp will
+// charge it later), or — when pendingFrom >= 0 — a whole-GPU idle skip
+// beginning at pendingFrom whose AccountSkipped the caller applies after
+// sampling. The charge lands in the copy, so this is a pure observer.
+// Splitting a skipped span across sampling boundaries is exact because
+// the SM is quiescent throughout: the stall classification and occupancy
+// gauges are constant over the span and AccountSkipped is linear in the
+// cycle count.
+func (s *SM) StatsAt(at, pendingFrom int64) Stats {
+	st := s.Stats
+	from := int64(-1)
+	if s.asleep {
+		from = s.sleptFrom
+	} else if pendingFrom >= 0 {
+		from = pendingFrom
+	}
+	if from >= 0 && at > from {
+		s.accountSkippedInto(&st, at-from)
+	}
+	return st
 }
 
 // lrrPick scans owned slots starting after the previous issue point and

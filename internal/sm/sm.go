@@ -28,6 +28,27 @@ type Controller interface {
 	LoadsDrained(s *SM, c *warp.CTA)
 }
 
+// Probe observes SM state transitions for telemetry. Every method is
+// invoked synchronously at the transition site and must be a pure
+// observer: a Probe may not mutate simulator state, and results must be
+// bit-identical with and without one attached (gpu's telemetry
+// equivalence test enforces this, like CheckInvariants). Under the
+// parallel engine CTADeactivated can fire on a worker goroutine (CTA
+// retirement happens inside the step phase), so implementations must not
+// share mutable state across SMs; per-SM sharding is race-free because
+// each SM is driven by exactly one goroutine at a time.
+type Probe interface {
+	// CTAActivated fires after the CTA's warps are bound to warp slots
+	// (fresh activations and VT swap-ins alike).
+	CTAActivated(s *SM, c *warp.CTA)
+	// CTADeactivated fires after the CTA's warps are unbound from their
+	// slots (VT swap-outs and CTA retirement).
+	CTADeactivated(s *SM, c *warp.CTA)
+	// SMWoke fires when a per-SM fast-forward span ends: the SM slept
+	// from cycle from up to (excluding) cycle to.
+	SMWoke(s *SM, from, to int64)
+}
+
 // Stats collects per-SM pipeline counters.
 type Stats struct {
 	Cycles       int64
@@ -89,6 +110,11 @@ type SM struct {
 	Gmem *mem.Backing
 
 	Ctl Controller
+
+	// Probe, when non-nil, observes CTA bind/unbind transitions and
+	// fast-forward spans for telemetry. Nil costs one pointer check at
+	// each (rare) transition; see the Probe contract above.
+	Probe Probe
 
 	// Glog, when non-nil, defers global-memory lane loops so the parallel
 	// engine can commit them in SM-index order after the cycle barrier.
@@ -363,6 +389,9 @@ func (s *SM) Activate(c *warp.CTA) {
 	for _, w := range c.Warps {
 		s.refreshWarp(w)
 	}
+	if s.Probe != nil {
+		s.Probe.CTAActivated(s, c)
+	}
 }
 
 // Deactivate unbinds the CTA's warps from their slots (a VT swap-out). The
@@ -381,6 +410,9 @@ func (s *SM) Deactivate(c *warp.CTA) {
 		c.State = warp.CTAInactiveWaiting
 	} else {
 		c.State = warp.CTAInactiveReady
+	}
+	if s.Probe != nil {
+		s.Probe.CTADeactivated(s, c)
 	}
 }
 
@@ -621,6 +653,9 @@ func (s *SM) WakeUp() {
 	s.asleep = false
 	if n := s.Ev.Now() - s.sleptFrom; n > 0 {
 		s.AccountSkipped(n)
+		if s.Probe != nil {
+			s.Probe.SMWoke(s, s.sleptFrom, s.Ev.Now())
+		}
 	}
 }
 
@@ -687,3 +722,11 @@ func (s *SM) loadComplete(op *lsuOp) {
 // lsuHasRoom reports whether another warp memory instruction can enter the
 // LSU queue.
 func (s *SM) lsuHasRoom() bool { return len(s.lsuQueue) < s.Cfg.LSUQueueDepth }
+
+// LSUQueueLen returns the number of warp memory instructions queued in
+// the load-store unit (telemetry occupancy gauge).
+func (s *SM) LSUQueueLen() int { return len(s.lsuQueue) }
+
+// WheelPending returns the number of writeback completions pending on the
+// SM-local timing wheel (telemetry occupancy gauge).
+func (s *SM) WheelPending() int { return s.wb.pending }

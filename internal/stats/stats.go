@@ -129,7 +129,9 @@ func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
 // Pct formats a ratio as a signed percentage ("+23.9%").
 func Pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", (ratio-1)*100) }
 
-// Mean returns the arithmetic mean, or 0 for an empty slice.
+// Mean returns the arithmetic mean, or 0 for an empty slice (so an
+// empty experiment row renders as 0 rather than NaN). A single-element
+// slice returns that element. Pinned by TestMeanEdgeCases.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -141,8 +143,12 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean, or 0 for an empty slice. Values must
-// be positive.
+// GeoMean returns the geometric mean, or 0 for an empty slice. Values
+// must be positive: a zero value collapses the whole mean to 0 (its log
+// is -Inf) and a negative value yields NaN — both sentinel outcomes
+// rather than silently plausible numbers, so a bad speedup ratio slipped
+// into a table is visible. A single-element slice returns that element.
+// These semantics are pinned by TestGeoMeanEdgeCases.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

@@ -110,3 +110,47 @@ func TestCSVMirror(t *testing.T) {
 		t.Fatalf("csv file = %q", data)
 	}
 }
+
+// TestMeanEdgeCases pins Mean's documented semantics: empty -> 0 (not
+// NaN), single element -> itself, zeros are ordinary values.
+func TestMeanEdgeCases(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{}); got != 0 {
+		t.Errorf("Mean(empty) = %v, want 0", got)
+	}
+	if got := Mean([]float64{3.5}); got != 3.5 {
+		t.Errorf("Mean(single) = %v, want 3.5", got)
+	}
+	if got := Mean([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("Mean(zeros) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean(1,2,3) = %v, want 2", got)
+	}
+}
+
+// TestGeoMeanEdgeCases pins GeoMean's documented semantics: empty -> 0,
+// single element -> itself, any zero collapses the mean to 0, and a
+// negative value yields NaN — sentinels, not plausible-looking numbers.
+func TestGeoMeanEdgeCases(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{}); got != 0 {
+		t.Errorf("GeoMean(empty) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{4.2}); math.Abs(got-4.2) > 1e-12 {
+		t.Errorf("GeoMean(single) = %v, want 4.2", got)
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{1, 0, 100}); got != 0 {
+		t.Errorf("GeoMean with a zero = %v, want 0 (log-collapse sentinel)", got)
+	}
+	if got := GeoMean([]float64{2, -3}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with a negative = %v, want NaN sentinel", got)
+	}
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Perfetto trace-event JSON export (the Chrome "JSON trace format",
+// which ui.perfetto.dev opens directly). Mapping, also documented in
+// docs/OBSERVABILITY.md:
+//
+//   - 1 simulated cycle = 1 µs of trace time (ts/dur are in µs).
+//   - pid 0 is the GPU-wide process (aggregate counter tracks);
+//     pid i+1 is SM i.
+//   - per-SM tids: 0 = sleep/fast-forward spans, 1 = swap-out spans,
+//     2 = swap-in spans, 10+k = CTA residence on warp slot k.
+//   - spans are ph "X" complete events, counters ph "C", names ph "M".
+//
+// All fields are emitted explicitly (no omitempty) so zero-valued ts,
+// pid, and tid survive encoding.
+
+const (
+	pfTidSleep   = 0
+	pfTidSwapOut = 1
+	pfTidSwapIn  = 2
+	pfTidSlot0   = 10
+)
+
+// pfEvent is one trace event. encoding/json sorts map keys, so Args
+// marshal deterministically.
+type pfEvent struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Ts   int64              `json:"ts"`
+	Dur  int64              `json:"dur"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// WritePerfetto renders the collected telemetry as Chrome/Perfetto
+// trace-event JSON. Call after the run. Output is deterministic.
+func (c *Collector) WritePerfetto(w io.Writer) error {
+	var ev []pfEvent
+
+	// Process names. Metadata name args are strings, which pfEvent's
+	// numeric Args can't carry, so metadata events are built separately.
+	type pfNameEvent struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Ts   int64             `json:"ts"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	var meta []pfNameEvent
+	meta = append(meta, pfNameEvent{Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]string{"name": fmt.Sprintf("GPU (%s, %s)", c.kernel, c.policy)}})
+	for i := 0; i < c.numSMs; i++ {
+		meta = append(meta, pfNameEvent{Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]string{"name": fmt.Sprintf("SM %d", i)}})
+	}
+
+	// Spans. Collect the (pid, tid) pairs in use so thread names cover
+	// exactly the tracks that exist.
+	type track struct{ pid, tid int }
+	tracks := map[track]string{}
+	for i := range c.sms {
+		for _, sp := range c.sms[i].spans {
+			pid := sp.SM + 1
+			var tid int
+			var name string
+			switch sp.Kind {
+			case SpanSleep:
+				tid, name = pfTidSleep, "fast-forward"
+			case SpanSwapOut:
+				tid, name = pfTidSwapOut, fmt.Sprintf("swap-out cta %d", sp.CTA)
+			case SpanSwapIn:
+				tid, name = pfTidSwapIn, fmt.Sprintf("swap-in cta %d", sp.CTA)
+			default: // SpanCTA
+				tid, name = pfTidSlot0+sp.Track, fmt.Sprintf("cta %d", sp.CTA)
+			}
+			dur := sp.End - sp.Start
+			if dur < 1 {
+				dur = 1
+			}
+			ev = append(ev, pfEvent{Name: name, Ph: "X", Ts: sp.Start, Dur: dur,
+				Pid: pid, Tid: tid})
+			tracks[track{pid, tid}] = ""
+		}
+	}
+	for t := range tracks {
+		var name string
+		switch {
+		case t.tid == pfTidSleep:
+			name = "sleep"
+		case t.tid == pfTidSwapOut:
+			name = "swap-out"
+		case t.tid == pfTidSwapIn:
+			name = "swap-in"
+		default:
+			name = fmt.Sprintf("slot %d", t.tid-pfTidSlot0)
+		}
+		meta = append(meta, pfNameEvent{Name: "thread_name", Ph: "M",
+			Pid: t.pid, Tid: t.tid, Args: map[string]string{"name": name}})
+	}
+	sort.Slice(meta, func(a, b int) bool {
+		if meta[a].Pid != meta[b].Pid {
+			return meta[a].Pid < meta[b].Pid
+		}
+		if meta[a].Tid != meta[b].Tid {
+			return meta[a].Tid < meta[b].Tid
+		}
+		return meta[a].Name < meta[b].Name
+	})
+
+	// Counter tracks. Counters are stamped at the window *start* so the
+	// step function holds the window's value across it.
+	for i := range c.sms {
+		pid := i + 1
+		for _, w := range c.sms[i].ring {
+			ts := w.Cycle - w.Cycles
+			ev = append(ev,
+				pfEvent{Name: "warps", Ph: "C", Ts: ts, Pid: pid,
+					Args: map[string]float64{
+						"active":   float64(w.ActiveWarps),
+						"resident": float64(w.ResidentWarps),
+					}},
+				pfEvent{Name: "ipc", Ph: "C", Ts: ts, Pid: pid,
+					Args: map[string]float64{"ipc": w.IPC()}},
+			)
+			if w.CtxBytes > 0 || w.SwapsInFlight > 0 {
+				ev = append(ev, pfEvent{Name: "vt", Ph: "C", Ts: ts, Pid: pid,
+					Args: map[string]float64{
+						"ctxBytes": float64(w.CtxBytes),
+						"inFlight": float64(w.SwapsInFlight),
+					}})
+			}
+		}
+	}
+	gpu := c.gpuWindows()
+	for i, w := range gpu {
+		ts := w.Cycle - w.Cycles
+		args := map[string]float64{"ipc": w.IPC()}
+		ev = append(ev, pfEvent{Name: "gpu ipc", Ph: "C", Ts: ts, Pid: 0, Args: args})
+		mw := c.mem[i]
+		m := map[string]float64{}
+		if mw.L1Accesses > 0 {
+			m["l1"] = float64(mw.L1Hits) / float64(mw.L1Accesses)
+		}
+		if mw.L2Accesses > 0 {
+			m["l2"] = float64(mw.L2Hits) / float64(mw.L2Accesses)
+		}
+		if len(m) > 0 {
+			ev = append(ev, pfEvent{Name: "hit rate", Ph: "C", Ts: ts, Pid: 0, Args: m})
+		}
+	}
+
+	sort.SliceStable(ev, func(a, b int) bool {
+		if ev[a].Ts != ev[b].Ts {
+			return ev[a].Ts < ev[b].Ts
+		}
+		if ev[a].Pid != ev[b].Pid {
+			return ev[a].Pid < ev[b].Pid
+		}
+		if ev[a].Tid != ev[b].Tid {
+			return ev[a].Tid < ev[b].Tid
+		}
+		return ev[a].Name < ev[b].Name
+	})
+
+	// Marshal by hand-stitching the two event slices into one array so
+	// the document stays a single {"traceEvents": [...]} object.
+	enc, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, `{"traceEvents":`); err != nil {
+		return err
+	}
+	// Join "[meta...]" and "[body...]" unless one side is empty.
+	switch {
+	case string(enc) == "null" || string(enc) == "[]":
+		if string(body) == "null" {
+			body = []byte("[]")
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	case string(body) == "null" || string(body) == "[]":
+		if _, err := w.Write(enc); err != nil {
+			return err
+		}
+	default:
+		if _, err := w.Write(enc[:len(enc)-1]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, ","); err != nil {
+			return err
+		}
+		if _, err := w.Write(body[1:]); err != nil {
+			return err
+		}
+	}
+	_, err = io.WriteString(w, "}\n")
+	return err
+}

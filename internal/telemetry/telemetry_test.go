@@ -1,0 +1,57 @@
+package telemetry
+
+import "testing"
+
+func TestConfigDefaults(t *testing.T) {
+	c := NewCollector(Config{})
+	if c.cfg.Window != DefaultWindow || c.cfg.MaxWindows != DefaultMaxWindows ||
+		c.cfg.MaxSpans != DefaultMaxSpans {
+		t.Fatalf("zero Config did not select defaults: %+v", c.cfg)
+	}
+	if c = NewCollector(Config{MaxWindows: 3}); c.cfg.MaxWindows != 8 {
+		t.Fatalf("MaxWindows floor: got %d, want 8", c.cfg.MaxWindows)
+	}
+	if c = NewCollector(Config{MaxWindows: 9}); c.cfg.MaxWindows%2 != 0 {
+		t.Fatalf("MaxWindows must round to even, got %d", c.cfg.MaxWindows)
+	}
+}
+
+func TestMergeWindows(t *testing.T) {
+	a := Window{Cycle: 64, Cycles: 64, Issued: 10, SlotIdle: 5, ActiveWarps: 7}
+	b := Window{Cycle: 128, Cycles: 64, Issued: 3, SlotIdle: 1, ActiveWarps: 2}
+	m := MergeWindows(a, b)
+	if m.Cycle != 128 || m.Cycles != 128 {
+		t.Errorf("merged bounds: end %d len %d, want 128/128", m.Cycle, m.Cycles)
+	}
+	if m.Issued != 13 || m.SlotIdle != 6 {
+		t.Errorf("deltas must sum: %+v", m)
+	}
+	if m.ActiveWarps != 2 {
+		t.Errorf("gauges must come from the later window: %d", m.ActiveWarps)
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	c := NewCollector(Config{})
+	c.Begin(1, "k", "p")
+	for _, lat := range []int64{0, 1, 2, 3, 4, 1 << 20} {
+		c.histAdd(lat)
+	}
+	want := map[int]int64{0: 1, 1: 1, 2: 2, 3: 1, histBuckets - 1: 1}
+	for i, n := range c.hist {
+		if n != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	d := c.Dump()
+	if len(d.SwapLatency) != 5 {
+		t.Fatalf("dump buckets = %d, want 5", len(d.SwapLatency))
+	}
+	if last := d.SwapLatency[4]; last.Hi != -1 {
+		t.Errorf("overflow bucket Hi = %d, want -1", last.Hi)
+	}
+	if d.SwapLatency[1].Lo != 1 || d.SwapLatency[1].Hi != 1 {
+		t.Errorf("bucket 1 bounds = [%d,%d], want [1,1]",
+			d.SwapLatency[1].Lo, d.SwapLatency[1].Hi)
+	}
+}

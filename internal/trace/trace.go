@@ -25,26 +25,69 @@ const (
 	KindRun Kind = "run"
 )
 
-// Event is one trace record. Fields irrelevant to a kind are omitted.
+// Event is one trace record. Encoding is per kind (see MarshalJSON):
+// every field that is meaningful for the event's kind is always present
+// in the JSON, even when zero — "sm":0, "cta":0, and "ipc":0 are real
+// values, not absences — while fields belonging to other kinds are
+// dropped entirely.
 type Event struct {
 	Cycle int64 `json:"cycle"`
 	Kind  Kind  `json:"kind"`
 
 	// KindCTA fields.
-	SM   int    `json:"sm,omitempty"`
-	CTA  int    `json:"cta,omitempty"`
-	From string `json:"from,omitempty"`
-	To   string `json:"to,omitempty"`
+	SM   int    `json:"sm"`
+	CTA  int    `json:"cta"`
+	From string `json:"from"`
+	To   string `json:"to"`
 
 	// KindSample fields.
-	ActiveWarps   float64 `json:"activeWarps,omitempty"`
-	ResidentWarps float64 `json:"residentWarps,omitempty"`
-	IPC           float64 `json:"ipc,omitempty"`
+	ActiveWarps   float64 `json:"activeWarps"`
+	ResidentWarps float64 `json:"residentWarps"`
+	IPC           float64 `json:"ipc"`
 
 	// KindRun fields.
-	Marker string `json:"marker,omitempty"` // "start" or "end"
-	Kernel string `json:"kernel,omitempty"`
-	Policy string `json:"policy,omitempty"`
+	Marker string `json:"marker"` // "start" or "end"
+	Kernel string `json:"kernel"`
+	Policy string `json:"policy"`
+}
+
+// MarshalJSON encodes exactly the fields that are meaningful for the
+// event's kind, all explicitly. The earlier struct-wide omitempty
+// encoding silently dropped zero values that carry information — a
+// transition on SM 0, CTA 0 of the grid, a zero-IPC sample — which broke
+// consumers that treat a missing key and zero differently.
+func (e Event) MarshalJSON() ([]byte, error) {
+	switch e.Kind {
+	case KindCTA:
+		return json.Marshal(struct {
+			Cycle int64  `json:"cycle"`
+			Kind  Kind   `json:"kind"`
+			SM    int    `json:"sm"`
+			CTA   int    `json:"cta"`
+			From  string `json:"from"`
+			To    string `json:"to"`
+		}{e.Cycle, e.Kind, e.SM, e.CTA, e.From, e.To})
+	case KindSample:
+		return json.Marshal(struct {
+			Cycle         int64   `json:"cycle"`
+			Kind          Kind    `json:"kind"`
+			ActiveWarps   float64 `json:"activeWarps"`
+			ResidentWarps float64 `json:"residentWarps"`
+			IPC           float64 `json:"ipc"`
+		}{e.Cycle, e.Kind, e.ActiveWarps, e.ResidentWarps, e.IPC})
+	case KindRun:
+		return json.Marshal(struct {
+			Cycle  int64  `json:"cycle"`
+			Kind   Kind   `json:"kind"`
+			Marker string `json:"marker"`
+			Kernel string `json:"kernel,omitempty"`
+			Policy string `json:"policy,omitempty"`
+		}{e.Cycle, e.Kind, e.Marker, e.Kernel, e.Policy})
+	default:
+		// Unknown kind: emit everything rather than guess.
+		type plain Event
+		return json.Marshal(plain(e))
+	}
 }
 
 // Writer emits events as JSON lines. It buffers; call Flush (or Close the

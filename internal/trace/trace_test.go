@@ -35,6 +35,57 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestZeroValuedFieldsSurviveEncoding is the regression test for the
+// omitempty bug: a transition on SM 0 / CTA 0 and a zero-IPC sample used
+// to lose those keys entirely, so consumers distinguishing "missing"
+// from "zero" (or schema-validating the lines) broke on the first SM of
+// every run. Every kind-relevant field must be present even when zero,
+// and fields of other kinds must stay out.
+func TestZeroValuedFieldsSurviveEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{Cycle: 0, Kind: KindCTA, SM: 0, CTA: 0, From: "new", To: "active"})
+	w.Emit(Event{Cycle: 0, Kind: KindSample, ActiveWarps: 0, ResidentWarps: 0, IPC: 0})
+	w.Emit(Event{Cycle: 0, Kind: KindRun, Marker: "end"})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	mustHave := func(line string, keys ...string) {
+		t.Helper()
+		for _, k := range keys {
+			if !strings.Contains(line, `"`+k+`"`) {
+				t.Errorf("line %s missing key %q", line, k)
+			}
+		}
+	}
+	mustNotHave := func(line string, keys ...string) {
+		t.Helper()
+		for _, k := range keys {
+			if strings.Contains(line, `"`+k+`"`) {
+				t.Errorf("line %s has foreign key %q", line, k)
+			}
+		}
+	}
+	mustHave(lines[0], "cycle", "kind", "sm", "cta", "from", "to")
+	mustNotHave(lines[0], "ipc", "marker", "activeWarps")
+	mustHave(lines[1], "cycle", "kind", "activeWarps", "residentWarps", "ipc")
+	mustNotHave(lines[1], "sm", "cta", "from", "to")
+	mustHave(lines[2], "cycle", "kind", "marker")
+	mustNotHave(lines[2], "sm", "ipc", "kernel", "policy")
+
+	events, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].SM != 0 || events[0].CTA != 0 || events[0].To != "active" {
+		t.Fatalf("round trip mangled: %+v", events[0])
+	}
+}
+
 func TestReadAllRejectsGarbage(t *testing.T) {
 	if _, err := ReadAll(strings.NewReader("{\"cycle\":1}\nnot json\n")); err == nil {
 		t.Fatal("expected parse error with line number")

@@ -26,6 +26,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // Config is the hardware description of the simulated GPU.
@@ -191,6 +192,29 @@ func RunConcurrentNames(names []string, scale int, cfg Config) (*Result, error) 
 				init(b)
 			}
 		},
+	})
+}
+
+// Collector gathers per-window metric rings, lifecycle spans, and the
+// Perfetto timeline of one run; see internal/telemetry.
+type Collector = telemetry.Collector
+
+// TelemetryConfig sizes a Collector (zero value = defaults).
+type TelemetryConfig = telemetry.Config
+
+// NewCollector returns a telemetry collector to pass to RunCollected.
+func NewCollector(cfg TelemetryConfig) *Collector { return telemetry.NewCollector(cfg) }
+
+// RunCollected simulates a suite workload with the telemetry collector
+// attached (and optionally a VT trace callback and occupancy sampling).
+// The collector is a pure observer: the Result is bit-identical to an
+// uncollected run. Read col.Dump() or col.WritePerfetto() afterwards.
+func RunCollected(w Workload, cfg Config, sampleInterval int64, trace func(TraceEvent), col *Collector) (*Result, error) {
+	return gpu.Run(w.Launch, cfg, gpu.Options{
+		InitMemory:     w.Init,
+		Trace:          trace,
+		SampleInterval: sampleInterval,
+		Telemetry:      col,
 	})
 }
 
