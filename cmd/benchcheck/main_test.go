@@ -33,6 +33,82 @@ func TestLoadToleratesUnknownFields(t *testing.T) {
 	}
 }
 
+// TestParseAllocs pins the -allocs parser against real `go test -bench
+// -benchmem` shapes: a -GOMAXPROCS name suffix, custom metrics between
+// ns/op and allocs/op, unrelated benchmarks on surrounding lines, and
+// averaging across -count repetitions.
+func TestParseAllocs(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.10GHz
+BenchmarkOther-8                 	     100	  12345 ns/op	     999 allocs/op
+BenchmarkSimulationCyclesPerSecond 	       1	  90120507 ns/op	    202579 simcycles/s	 6077744 B/op	    7038 allocs/op
+BenchmarkSimulationCyclesPerSecond-8 	       1	  90120507 ns/op	    202579 simcycles/s	 6077744 B/op	    7040 allocs/op
+PASS
+ok  	repro	0.095s
+`
+	got, err := parseAllocs(out, "BenchmarkSimulationCyclesPerSecond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7039 { // mean of 7038 and 7040
+		t.Fatalf("parseAllocs = %v, want 7039", got)
+	}
+}
+
+// TestParseAllocsMissing: output without -benchmem (no allocs/op column)
+// or without the target benchmark must error rather than pass vacuously.
+func TestParseAllocsMissing(t *testing.T) {
+	noMem := "BenchmarkSimulationCyclesPerSecond \t 1 \t 90120507 ns/op\nPASS\n"
+	if _, err := parseAllocs(noMem, "BenchmarkSimulationCyclesPerSecond"); err == nil {
+		t.Fatal("output without allocs/op must error")
+	}
+	if _, err := parseAllocs("PASS\n", "BenchmarkSimulationCyclesPerSecond"); err == nil {
+		t.Fatal("output without the benchmark must error")
+	}
+	// A benchmark whose name merely extends the target must not match.
+	other := "BenchmarkSimulationCyclesPerSecondX-8 \t 1 \t 5 ns/op \t 3 allocs/op\n"
+	if _, err := parseAllocs(other, "BenchmarkSimulationCyclesPerSecond"); err == nil {
+		t.Fatal("prefix-extended benchmark name must not match")
+	}
+}
+
+// TestCheckAllocs pins the gate arithmetic: growth at the ceiling passes,
+// a hair beyond fails, and shrinkage always passes.
+func TestCheckAllocs(t *testing.T) {
+	if err := checkAllocs(10000, 11000, 0.10); err != nil {
+		t.Fatalf("growth exactly at tolerance must pass: %v", err)
+	}
+	if err := checkAllocs(10000, 11001, 0.10); err == nil {
+		t.Fatal("growth beyond tolerance must fail")
+	}
+	if err := checkAllocs(10000, 500, 0.10); err != nil {
+		t.Fatalf("shrinkage must pass: %v", err)
+	}
+}
+
+// TestLoadSimulationBenchmark: the -allocs baseline record nests under
+// simulation_benchmark and must decode alongside the throughput fields.
+func TestLoadSimulationBenchmark(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	doc := `{
+		"sim_cycles": 5,
+		"simcycles_per_sec": 10.0,
+		"simulation_benchmark": {"current_allocs_per_run": 6878}
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SimulationBenchmark.CurrentAllocsPerRun != 6878 {
+		t.Fatalf("simulation_benchmark mangled: %+v", r.SimulationBenchmark)
+	}
+}
+
 // TestLoadMissingFields: an old baseline lacking fields decodes to
 // zeros, which main() then rejects explicitly rather than dividing by
 // zero — check the decode half here.

@@ -63,6 +63,7 @@ type Controller struct {
 }
 
 type smState struct {
+	sm           *sm.SM  // bound on the first Cycle; typed events dispatch through it
 	ports        []int64 // context-buffer ports: next free cycle each
 	ctxBytesUsed int     // context buffer bytes held by inactive CTAs
 	wakeAt       int64
@@ -72,6 +73,51 @@ type smState struct {
 	// src is register-source scratch for BlockedState; per-SM (not
 	// package-global) so concurrent simulations never share it.
 	src [8]isa.Reg
+	// restores pools in-flight context-restore records (the CTA whose
+	// restore completes when evRestoreDone fires), recycled by index.
+	restores    []*warp.CTA
+	restoreFree []int32
+}
+
+func (st *smState) allocRestore(c *warp.CTA) int32 {
+	if n := len(st.restoreFree); n > 0 {
+		idx := st.restoreFree[n-1]
+		st.restoreFree = st.restoreFree[:n-1]
+		st.restores[idx] = c
+		return idx
+	}
+	st.restores = append(st.restores, c)
+	return int32(len(st.restores) - 1)
+}
+
+// Controller event kinds (operand a = SM id throughout; b = restore
+// record index for evRestoreDone).
+const (
+	evRestoreDone uint8 = iota // context restore finished: CTA becomes active
+	evPortFree                 // a swap-out's port freed: try to activate a replacement
+	evMinElig                  // min-residency eligibility crossed: wake the idle-skip engine
+)
+
+// HandleEvent dispatches the controller's typed swap-engine events.
+func (v *Controller) HandleEvent(kind uint8, a, b uint32) {
+	st := &v.perSM[a]
+	s := st.sm
+	switch kind {
+	case evRestoreDone:
+		c := st.restores[b]
+		st.restores[b] = nil
+		st.restoreFree = append(st.restoreFree, int32(b))
+		s.WakeUp()
+		c.State = warp.CTAActive
+		c.ActivatedAt = s.Ev.Now()
+		s.NoteCTAStateChanged(c)
+		v.trace(s, c, warp.CTARestoring, warp.CTAActive, 0)
+	case evPortFree:
+		s.WakeUp()
+		v.activate(s)
+	case evMinElig:
+		s.WakeUp()
+	}
 }
 
 // freePort returns the index of a context-buffer port free at now, or -1.
@@ -144,6 +190,9 @@ func (v *Controller) swapLatency(s *sm.SM, c *warp.CTA, out bool) int64 {
 // the capacity limit, activate ready CTAs into free scheduling slots, and
 // swap out active CTAs whose warps are all memory-blocked.
 func (v *Controller) Cycle(s *sm.SM) {
+	if v.perSM[s.ID].sm == nil {
+		v.perSM[s.ID].sm = s
+	}
 	v.admit(s)
 	v.activate(s)
 	v.swapOut(s)
@@ -233,13 +282,7 @@ func (v *Controller) activateCTA(s *sm.SM, c *warp.CTA, st *smState) {
 		c.State = warp.CTARestoring
 		s.NoteCTAStateChanged(c)
 		v.trace(s, c, from, warp.CTARestoring, lat)
-		s.Ev.After(lat, func() {
-			s.WakeUp()
-			c.State = warp.CTAActive
-			c.ActivatedAt = s.Ev.Now()
-			s.NoteCTAStateChanged(c)
-			v.trace(s, c, warp.CTARestoring, warp.CTAActive, 0)
-		})
+		s.Ev.PostAfter(lat, v, evRestoreDone, uint32(s.ID), uint32(st.allocRestore(c)))
 		return
 	}
 	// Fresh CTA: no context to restore.
@@ -324,15 +367,12 @@ func (v *Controller) swapOut(s *sm.SM) {
 		v.countInactive(s)
 		// Activate a replacement as soon as the context-buffer port
 		// frees.
-		s.Ev.After(lat, func() {
-			s.WakeUp()
-			v.activate(s)
-		})
+		s.Ev.PostAfter(lat, v, evPortFree, uint32(s.ID), 0)
 		return // one swap per SM at a time
 	}
 	if minElig > 0 && st.wakeAt != minElig {
 		st.wakeAt = minElig
-		s.Ev.At(minElig, s.WakeUp) // wake the idle-skip engine
+		s.Ev.Post(minElig, v, evMinElig, uint32(s.ID), 0) // wake the idle-skip engine
 	}
 }
 

@@ -6,6 +6,7 @@ package gpu
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -158,6 +159,13 @@ type Options struct {
 	// bit-identical; like DisableIdleSkip this exists to enforce and
 	// debug that equivalence.
 	DisableIssueFastPath bool
+	// DisableEventWheel backs the event queue with the reference binary
+	// heap instead of the bucketed timing wheel. Both backends order
+	// events by the same (cycle, scheduling-order) key, so results must
+	// be bit-identical; like the flags above this exists to enforce and
+	// debug that equivalence. Heap-backed queues are not pooled across
+	// runs.
+	DisableEventWheel bool
 	// SampleInterval, when positive, records an occupancy/IPC sample
 	// every that-many cycles into Result.Timeline.
 	SampleInterval int64
@@ -199,6 +207,14 @@ type Options struct {
 	FaultHook func(cycle int64, sms []*sm.SM)
 }
 
+// queuePool recycles timing-wheel event queues across runs: the wheel's
+// bucket slab is the largest single per-run allocation, and reusing it
+// (plus whatever bucket/heap capacity a previous run grew) lets sweep
+// harnesses schedule without allocating in steady state. Queues are Reset
+// on the way back in; the heap-backed debug queues (DisableEventWheel)
+// are not pooled.
+var queuePool = sync.Pool{New: func() any { return event.NewQueue() }}
+
 // Run simulates one launch on the configured GPU and returns its result.
 func Run(l *isa.Launch, cfg config.GPUConfig, opts Options) (*Result, error) {
 	return RunMulti([]*isa.Launch{l}, cfg, opts)
@@ -233,7 +249,16 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		}
 	}
 
-	ev := event.NewQueue()
+	var ev *event.Queue
+	if opts.DisableEventWheel {
+		ev = event.NewHeapQueue()
+	} else {
+		ev = queuePool.Get().(*event.Queue)
+		defer func() {
+			ev.Reset()
+			queuePool.Put(ev)
+		}()
+	}
 	backing := mem.NewBacking()
 	if opts.InitMemory != nil {
 		opts.InitMemory(backing)

@@ -6,20 +6,57 @@
 // calls back when the data returns.
 package mem
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Backing is the functional contents of global memory. It is word-granular
 // and lazily populated: a word never stored reads as a deterministic
 // pseudo-random value derived from its address, so data-dependent kernels
 // have stable inputs without preloading gigabytes. Hosts preinitialize
 // structured inputs (graphs, matrices) with the store helpers.
+//
+// Storage is paged: stored words live in 4 KiB pages found through a map
+// keyed by page index, with a one-entry cache of the last page touched
+// (global-memory traffic is strongly page-local, so most accesses skip
+// the map). A per-page written bitmap distinguishes stored words from
+// untouched ones, which must keep reading as their synthesized values.
+// Backing is not safe for concurrent use — the parallel engine serializes
+// all access through GmemLog replay.
 type Backing struct {
-	words map[uint32]uint32
+	pages    map[uint32]*backingPage
+	lastIdx  uint32
+	lastPage *backingPage
+}
+
+const (
+	pageWordBits = 10
+	pageWords    = 1 << pageWordBits // words per page (4 KiB)
+)
+
+type backingPage struct {
+	words   [pageWords]uint32
+	written [pageWords / 64]uint64
 }
 
 // NewBacking returns an empty backing store.
 func NewBacking() *Backing {
-	return &Backing{words: make(map[uint32]uint32)}
+	return &Backing{pages: make(map[uint32]*backingPage)}
+}
+
+// pageOf returns the page holding word index widx, or nil when no word in
+// it has been stored.
+func (b *Backing) pageOf(widx uint32) *backingPage {
+	pi := widx >> pageWordBits
+	if b.lastPage != nil && b.lastIdx == pi {
+		return b.lastPage
+	}
+	p := b.pages[pi]
+	if p != nil {
+		b.lastIdx, b.lastPage = pi, p
+	}
+	return p
 }
 
 // synthWord derives the default contents of an untouched word index.
@@ -35,15 +72,28 @@ func synthWord(widx uint32) uint32 {
 // aligned down to a word boundary).
 func (b *Backing) LoadWord(addr uint32) uint32 {
 	w := addr >> 2
-	if v, ok := b.words[w]; ok {
-		return v
+	if p := b.pageOf(w); p != nil {
+		o := w & (pageWords - 1)
+		if p.written[o>>6]&(1<<(o&63)) != 0 {
+			return p.words[o]
+		}
 	}
 	return synthWord(w)
 }
 
 // StoreWord writes the 32-bit word containing the byte address.
 func (b *Backing) StoreWord(addr, v uint32) {
-	b.words[addr>>2] = v
+	w := addr >> 2
+	p := b.pageOf(w)
+	if p == nil {
+		p = &backingPage{}
+		pi := w >> pageWordBits
+		b.pages[pi] = p
+		b.lastIdx, b.lastPage = pi, p
+	}
+	o := w & (pageWords - 1)
+	p.written[o>>6] |= 1 << (o & 63)
+	p.words[o] = v
 }
 
 // WriteWords stores a contiguous slice of words starting at base.
@@ -67,4 +117,12 @@ func (b *Backing) LoadFloat(addr uint32) float32 {
 
 // TouchedWords returns how many words have been explicitly stored; used by
 // tests to bound memory growth.
-func (b *Backing) TouchedWords() int { return len(b.words) }
+func (b *Backing) TouchedWords() int {
+	n := 0
+	for _, p := range b.pages {
+		for _, w := range p.written {
+			n += bits.OnesCount64(w)
+		}
+	}
+	return n
+}

@@ -1,5 +1,7 @@
 package mem
 
+import "repro/internal/event"
+
 // TagArray is a set-associative cache tag store with true-LRU replacement.
 // It tracks presence only; data motion is functional (the backing store)
 // and timing is handled by the callers.
@@ -102,37 +104,79 @@ func (t *TagArray) Occupancy() int {
 }
 
 // mshrTable tracks outstanding misses by line address, merging secondary
-// misses into the primary's callback list.
+// misses into the primary's completion list. Completions are held in a
+// pooled node arena linked per line and recycled through a free list, so
+// steady-state merging and completion allocate nothing (the old
+// implementation grew a fresh []func() per primary miss).
 type mshrTable struct {
 	max     int
-	pending map[uint32][]func()
+	pending map[uint32]mshrList
+	nodes   []mshrNode
+	free    int32 // free-list head (index+1; 0 = empty)
+}
+
+// mshrList is one line's completion chain; head/tail are node indexes+1.
+type mshrList struct{ head, tail int32 }
+
+type mshrNode struct {
+	comp event.Completion
+	next int32 // next node in chain or free list (index+1; 0 = end)
 }
 
 func newMSHRTable(max int) *mshrTable {
-	return &mshrTable{max: max, pending: make(map[uint32][]func())}
+	return &mshrTable{max: max, pending: make(map[uint32]mshrList)}
 }
 
-// add registers a callback for the line. It returns primary=true when this
-// is the first outstanding miss for the line (the caller must send the
-// request downstream), and full=true when a new entry was needed but the
-// table is at capacity (the caller must retry later).
-func (m *mshrTable) add(lineAddr uint32, done func()) (primary, full bool) {
-	if cbs, ok := m.pending[lineAddr]; ok {
-		m.pending[lineAddr] = append(cbs, done)
+// alloc takes a node from the free list (or grows the arena) and returns
+// its index+1.
+func (m *mshrTable) alloc(c event.Completion) int32 {
+	if m.free != 0 {
+		n := m.free
+		m.free = m.nodes[n-1].next
+		m.nodes[n-1] = mshrNode{comp: c}
+		return n
+	}
+	m.nodes = append(m.nodes, mshrNode{comp: c})
+	return int32(len(m.nodes))
+}
+
+// add registers a completion for the line. It returns primary=true when
+// this is the first outstanding miss for the line (the caller must send
+// the request downstream), and full=true when a new entry was needed but
+// the table is at capacity (the caller must retry later; nothing is
+// stored).
+func (m *mshrTable) add(lineAddr uint32, done event.Completion) (primary, full bool) {
+	if l, ok := m.pending[lineAddr]; ok {
+		n := m.alloc(done)
+		m.nodes[l.tail-1].next = n
+		m.pending[lineAddr] = mshrList{head: l.head, tail: n}
 		return false, false
 	}
 	if m.max > 0 && len(m.pending) >= m.max {
 		return false, true
 	}
-	m.pending[lineAddr] = []func(){done}
+	n := m.alloc(done)
+	m.pending[lineAddr] = mshrList{head: n, tail: n}
 	return true, false
 }
 
-// complete removes the line's entry and returns its callbacks.
-func (m *mshrTable) complete(lineAddr uint32) []func() {
-	cbs := m.pending[lineAddr]
+// fireCompleted removes the line's entry and fires its completions in
+// registration order. The entry is removed before anything fires and each
+// node is copied out and recycled before its completion runs, so
+// completions may re-enter the table (even for the same line) safely.
+func (m *mshrTable) fireCompleted(lineAddr uint32) {
+	l, ok := m.pending[lineAddr]
+	if !ok {
+		return
+	}
 	delete(m.pending, lineAddr)
-	return cbs
+	for n := l.head; n != 0; {
+		node := m.nodes[n-1]
+		m.nodes[n-1] = mshrNode{next: m.free}
+		m.free = n
+		n = node.next
+		node.comp.Fire()
+	}
 }
 
 // size returns the number of outstanding distinct misses.

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/event"
 )
 
 func TestTagArrayBasics(t *testing.T) {
@@ -76,29 +78,23 @@ func TestTagArrayInvalidate(t *testing.T) {
 func TestMSHRMergeAndLimit(t *testing.T) {
 	m := newMSHRTable(2)
 	ran := 0
-	p, full := m.add(0x100, func() { ran++ })
+	p, full := m.add(0x100, event.CompletionFunc(func() { ran++ }))
 	if !p || full {
 		t.Fatal("first miss must be primary")
 	}
-	p, full = m.add(0x100, func() { ran++ })
+	p, full = m.add(0x100, event.CompletionFunc(func() { ran++ }))
 	if p || full {
 		t.Fatal("second miss to same line must merge")
 	}
-	p, full = m.add(0x200, func() { ran++ })
+	p, full = m.add(0x200, event.CompletionFunc(func() { ran++ }))
 	if !p || full {
 		t.Fatal("different line must get a new entry")
 	}
-	_, full = m.add(0x300, func() { ran++ })
+	_, full = m.add(0x300, event.CompletionFunc(func() { ran++ }))
 	if !full {
 		t.Fatal("third distinct line must be rejected at capacity 2")
 	}
-	cbs := m.complete(0x100)
-	if len(cbs) != 2 {
-		t.Fatalf("merged callbacks = %d, want 2", len(cbs))
-	}
-	for _, cb := range cbs {
-		cb()
-	}
+	m.fireCompleted(0x100)
 	if ran != 2 {
 		t.Fatalf("ran = %d, want 2", ran)
 	}
@@ -106,7 +102,7 @@ func TestMSHRMergeAndLimit(t *testing.T) {
 		t.Fatalf("size = %d, want 1", m.size())
 	}
 	// Freed capacity admits a new line.
-	if p, full := m.add(0x300, func() {}); !p || full {
+	if p, full := m.add(0x300, event.CompletionFunc(func() {})); !p || full {
 		t.Fatal("freed MSHR must admit a new line")
 	}
 }
@@ -114,7 +110,7 @@ func TestMSHRMergeAndLimit(t *testing.T) {
 func TestMSHRUnbounded(t *testing.T) {
 	m := newMSHRTable(0)
 	for i := 0; i < 1000; i++ {
-		if _, full := m.add(uint32(i*128), func() {}); full {
+		if _, full := m.add(uint32(i*128), event.CompletionFunc(func() {})); full {
 			t.Fatal("unbounded table must never be full")
 		}
 	}

@@ -11,8 +11,15 @@ import (
 // byte addresses (indexed by lane); lineSize must be a power of two. This
 // models the hardware coalescer: one transaction per distinct line segment.
 func CoalesceLines(addrs []uint32, active simt.Mask, lineSize int) []uint32 {
+	return CoalesceLinesInto(nil, addrs, active, lineSize)
+}
+
+// CoalesceLinesInto is CoalesceLines appending into dst (typically a
+// recycled buffer sliced to [:0]), so steady-state callers allocate
+// nothing.
+func CoalesceLinesInto(dst []uint32, addrs []uint32, active simt.Mask, lineSize int) []uint32 {
 	mask := ^uint32(lineSize - 1)
-	var lines []uint32
+	lines := dst
 	for lane := 0; lane < len(addrs); lane++ {
 		if !active.Has(lane) {
 			continue

@@ -138,9 +138,10 @@ func (s *System) L1ShardStats(sm int) Stats {
 }
 
 // AccessGlobal presents one coalesced line transaction from an SM. done
-// must be non-nil for reads and nil for writes. It reports false when the
+// must be a valid Completion for reads (fired when the line arrives at
+// the SM) and the zero Completion for writes. It reports false when the
 // transaction was rejected (L1 MSHRs full) and must be retried.
-func (s *System) AccessGlobal(sm int, lineAddr uint32, write bool, done func()) bool {
+func (s *System) AccessGlobal(sm int, lineAddr uint32, write bool, done event.Completion) bool {
 	return s.l1s[sm].access(lineAddr, write, done)
 }
 
@@ -178,7 +179,35 @@ func newL1(cfg *config.GPUConfig, sys *System) *l1Cache {
 	return c
 }
 
-func (c *l1Cache) access(lineAddr uint32, write bool, done func()) bool {
+// l1Cache event kinds (operand a = line address throughout).
+const (
+	evL1FwdRead  uint8 = iota // interconnect delay elapsed: forward a read miss to its partition
+	evL1FwdWrite              // interconnect delay elapsed: forward a write-through
+	evL1Resp                  // line available at the partition port: start the return trip
+	evL1Fill                  // line arrived back at the SM: fill tags, fire MSHR completions
+)
+
+// HandleEvent dispatches the L1's typed events. Forwarding events were
+// scheduled through c.sched (possibly an SM lane); response-side events
+// always ride the shared queue (see the type comment).
+func (c *l1Cache) HandleEvent(kind uint8, a, b uint32) {
+	sys := c.sys
+	switch kind {
+	case evL1FwdRead:
+		sys.partitionOf(a).access(a, false, event.Completion{H: c, Kind: evL1Resp, A: a})
+	case evL1FwdWrite:
+		sys.partitionOf(a).access(a, true, event.Completion{})
+	case evL1Resp:
+		sys.ev.PostAfter(int64(sys.cfg.InterconnectDelay), c, evL1Fill, a, 0)
+	case evL1Fill:
+		if c.tags != nil {
+			c.tags.Fill(a)
+		}
+		c.mshr.fireCompleted(a)
+	}
+}
+
+func (c *l1Cache) access(lineAddr uint32, write bool, done event.Completion) bool {
 	sys := c.sys
 	if write {
 		c.stats.L1Accesses++
@@ -186,17 +215,14 @@ func (c *l1Cache) access(lineAddr uint32, write bool, done func()) bool {
 			c.tags.Invalidate(lineAddr) // write-evict
 		}
 		// Write-through: consume the downstream path; nothing waits.
-		part := sys.partitionOf(lineAddr)
-		c.sched.After(int64(sys.cfg.InterconnectDelay), func() {
-			part.access(lineAddr, true, nil)
-		})
+		c.sched.PostAfter(int64(sys.cfg.InterconnectDelay), c, evL1FwdWrite, lineAddr, 0)
 		return true
 	}
 
 	c.stats.L1Accesses++
 	if c.tags != nil && c.tags.Probe(lineAddr) {
 		c.stats.L1Hits++
-		c.sched.After(int64(c.cfg.Latency), done)
+		c.sched.PostAfter(int64(c.cfg.Latency), done.H, done.Kind, done.A, done.B)
 		return true
 	}
 	primary, full := c.mshr.add(lineAddr, done)
@@ -209,20 +235,7 @@ func (c *l1Cache) access(lineAddr uint32, write bool, done func()) bool {
 		c.stats.L1MSHRMerges++
 		return true
 	}
-	part := sys.partitionOf(lineAddr)
-	c.sched.After(int64(sys.cfg.InterconnectDelay), func() {
-		part.access(lineAddr, false, func() {
-			// Response arrives back at the SM after the return trip.
-			sys.ev.After(int64(sys.cfg.InterconnectDelay), func() {
-				if c.tags != nil {
-					c.tags.Fill(lineAddr)
-				}
-				for _, cb := range c.mshr.complete(lineAddr) {
-					cb()
-				}
-			})
-		})
-	})
+	c.sched.PostAfter(int64(sys.cfg.InterconnectDelay), c, evL1FwdRead, lineAddr, 0)
 	return true
 }
 
@@ -230,7 +243,7 @@ func (c *l1Cache) access(lineAddr uint32, write bool, done func()) bool {
 type dramReq struct {
 	line   uint32
 	write  bool
-	onDone func() // called when the data is available; nil for writes
+	onDone event.Completion // fired when the data is available; zero for writes
 }
 
 // partition is one memory partition: an L2 slice with MSHR merging in
@@ -282,9 +295,38 @@ func (p *partition) rowPenalty() int64 {
 	return int64(p.cfg.DRAMRowPenalty)
 }
 
+// partition event kinds (operand a = line address; unused for pump).
+const (
+	evPartEnqRead  uint8 = iota // L2 latency elapsed on a read miss: queue the DRAM fill
+	evPartEnqWrite              // L2 latency elapsed on a write: queue the DRAM write
+	evPartFill                  // DRAM data arrived: fill L2, fire MSHR completions
+	evPartPump                  // scheduled controller re-arbitration
+)
+
+// HandleEvent dispatches the partition's typed events. Partitions are
+// shared across SMs, so all their events ride the shared queue.
+func (p *partition) HandleEvent(kind uint8, a, b uint32) {
+	switch kind {
+	case evPartEnqRead:
+		p.enqueueDRAM(a, false, event.Completion{H: p, Kind: evPartFill, A: a})
+	case evPartEnqWrite:
+		p.enqueueDRAM(a, true, event.Completion{})
+	case evPartFill:
+		if p.tags != nil {
+			p.tags.Fill(a)
+		}
+		p.mshr.fireCompleted(a)
+	case evPartPump:
+		if p.pumpAt == p.sys.ev.Now() {
+			p.pumpAt = -1
+		}
+		p.pump()
+	}
+}
+
 // access handles one transaction arriving at the partition. respond (reads
-// only) is called when the line is available at the partition's port.
-func (p *partition) access(lineAddr uint32, write bool, respond func()) {
+// only) is fired when the line is available at the partition's port.
+func (p *partition) access(lineAddr uint32, write bool, respond event.Completion) {
 	sys := p.sys
 	now := sys.ev.Now()
 
@@ -299,36 +341,25 @@ func (p *partition) access(lineAddr uint32, write bool, respond func()) {
 		sys.Stats.L2Accesses++
 		// Write-through, no-allocate at L2 as well: the write occupies
 		// the DRAM channel but nothing waits for it.
-		sys.ev.At(start+int64(p.cfg.L2.Latency), func() {
-			p.enqueueDRAM(lineAddr, true, nil)
-		})
+		sys.ev.Post(start+int64(p.cfg.L2.Latency), p, evPartEnqWrite, lineAddr, 0)
 		return
 	}
 
 	sys.Stats.L2Accesses++
 	if p.tags != nil && p.tags.Probe(lineAddr) {
 		sys.Stats.L2Hits++
-		sys.ev.At(start+int64(p.cfg.L2.Latency), respond)
+		sys.ev.PostC(start+int64(p.cfg.L2.Latency), respond)
 		return
 	}
 	primary, _ := p.mshr.add(lineAddr, respond)
 	if !primary {
 		return
 	}
-	sys.ev.At(start+int64(p.cfg.L2.Latency), func() {
-		p.enqueueDRAM(lineAddr, false, func() {
-			if p.tags != nil {
-				p.tags.Fill(lineAddr)
-			}
-			for _, cb := range p.mshr.complete(lineAddr) {
-				cb()
-			}
-		})
-	})
+	sys.ev.Post(start+int64(p.cfg.L2.Latency), p, evPartEnqRead, lineAddr, 0)
 }
 
 // enqueueDRAM adds a transaction to the FR-FCFS controller queue.
-func (p *partition) enqueueDRAM(line uint32, write bool, onDone func()) {
+func (p *partition) enqueueDRAM(line uint32, write bool, onDone event.Completion) {
 	if write {
 		p.sys.Stats.DRAMWrites++
 	} else {
@@ -345,12 +376,7 @@ func (p *partition) schedulePump(t int64) {
 		return
 	}
 	p.pumpAt = t
-	p.sys.ev.At(t, func() {
-		if p.pumpAt == p.sys.ev.Now() {
-			p.pumpAt = -1
-		}
-		p.pump()
-	})
+	p.sys.ev.Post(t, p, evPartPump, 0, 0)
 }
 
 // pump issues at most one transaction per data-bus slot using FR-FCFS
@@ -412,8 +438,8 @@ func (p *partition) pump() {
 	p.bankFree[bank] = now + svc
 	p.dramFree = now + int64(p.cfg.DRAMServiceCycles)
 	st.DRAMBusy += int64(p.cfg.DRAMServiceCycles)
-	if r.onDone != nil {
-		p.sys.ev.At(now+svc+int64(p.cfg.DRAMLatency), r.onDone)
+	if r.onDone.Valid() {
+		p.sys.ev.PostC(now+svc+int64(p.cfg.DRAMLatency), r.onDone)
 	}
 	p.schedulePump(p.dramFree)
 }

@@ -113,7 +113,7 @@ func TestL1HitTiming(t *testing.T) {
 	sys := NewSystem(&cfg, ev)
 
 	var first, second int64 = -1, -1
-	if !sys.AccessGlobal(0, 0x1000, false, func() { first = ev.Now() }) {
+	if !sys.AccessGlobal(0, 0x1000, false, event.CompletionFunc(func() { first = ev.Now() })) {
 		t.Fatal("access rejected")
 	}
 	// Drain until the miss completes.
@@ -130,7 +130,7 @@ func TestL1HitTiming(t *testing.T) {
 	}
 
 	start := ev.Now()
-	if !sys.AccessGlobal(0, 0x1000, false, func() { second = ev.Now() }) {
+	if !sys.AccessGlobal(0, 0x1000, false, event.CompletionFunc(func() { second = ev.Now() })) {
 		t.Fatal("access rejected")
 	}
 	for i := start + 1; second < 0 && i < start+10000; i++ {
@@ -151,8 +151,8 @@ func TestMSHRMergingAtL1(t *testing.T) {
 	sys := NewSystem(&cfg, ev)
 
 	done := 0
-	sys.AccessGlobal(0, 0x2000, false, func() { done++ })
-	sys.AccessGlobal(0, 0x2000, false, func() { done++ }) // merges
+	sys.AccessGlobal(0, 0x2000, false, event.CompletionFunc(func() { done++ }))
+	sys.AccessGlobal(0, 0x2000, false, event.CompletionFunc(func() { done++ })) // merges
 	if sys.Stats.L1MSHRMerges != 1 {
 		t.Fatalf("merges = %d, want 1", sys.Stats.L1MSHRMerges)
 	}
@@ -174,13 +174,13 @@ func TestMSHRBackpressure(t *testing.T) {
 	ev := event.NewQueue()
 	sys := NewSystem(&cfg, ev)
 
-	if !sys.AccessGlobal(0, 0x0000, false, func() {}) {
+	if !sys.AccessGlobal(0, 0x0000, false, event.CompletionFunc(func() {})) {
 		t.Fatal("first access rejected")
 	}
-	if !sys.AccessGlobal(0, 0x1000, false, func() {}) {
+	if !sys.AccessGlobal(0, 0x1000, false, event.CompletionFunc(func() {})) {
 		t.Fatal("second access rejected")
 	}
-	if sys.AccessGlobal(0, 0x3000, false, func() {}) {
+	if sys.AccessGlobal(0, 0x3000, false, event.CompletionFunc(func() {})) {
 		t.Fatal("third distinct miss must be rejected with 2 MSHRs")
 	}
 	if sys.Stats.L1Rejects != 1 {
@@ -197,15 +197,15 @@ func TestWriteInvalidatesL1(t *testing.T) {
 	sys := NewSystem(&cfg, ev)
 
 	got := false
-	sys.AccessGlobal(0, 0x4000, false, func() { got = true })
+	sys.AccessGlobal(0, 0x4000, false, event.CompletionFunc(func() { got = true }))
 	for i := int64(1); !got && i < 10000; i++ {
 		ev.AdvanceTo(i)
 	}
 	// Write to the same line evicts it.
-	sys.AccessGlobal(0, 0x4000, true, nil)
+	sys.AccessGlobal(0, 0x4000, true, event.Completion{})
 	hitsBefore := sys.Stats.L1Hits
 	done := false
-	sys.AccessGlobal(0, 0x4000, false, func() { done = true })
+	sys.AccessGlobal(0, 0x4000, false, event.CompletionFunc(func() { done = true }))
 	if sys.Stats.L1Hits != hitsBefore {
 		t.Fatal("read after write-evict must miss in L1")
 	}
@@ -226,7 +226,7 @@ func TestL2SharedAcrossSMs(t *testing.T) {
 	sys := NewSystem(&cfg, ev)
 
 	done := false
-	sys.AccessGlobal(0, 0x8000, false, func() { done = true })
+	sys.AccessGlobal(0, 0x8000, false, event.CompletionFunc(func() { done = true }))
 	for i := int64(1); !done && i < 10000; i++ {
 		ev.AdvanceTo(i)
 	}
@@ -234,7 +234,7 @@ func TestL2SharedAcrossSMs(t *testing.T) {
 	reads := sys.Stats.DRAMReads
 	done2 := false
 	start := ev.Now()
-	sys.AccessGlobal(1, 0x8000, false, func() { done2 = true })
+	sys.AccessGlobal(1, 0x8000, false, event.CompletionFunc(func() { done2 = true }))
 	for i := start + 1; !done2 && i < start+10000; i++ {
 		ev.AdvanceTo(i)
 	}
@@ -257,7 +257,7 @@ func TestDRAMBandwidthSerializes(t *testing.T) {
 	const n = 16
 	var times []int64
 	for i := 0; i < n; i++ {
-		if !sys.AccessGlobal(0, uint32(i*0x1000), false, func() { times = append(times, ev.Now()) }) {
+		if !sys.AccessGlobal(0, uint32(i*0x1000), false, event.CompletionFunc(func() { times = append(times, ev.Now()) })) {
 			t.Fatal("rejected")
 		}
 	}
@@ -305,11 +305,11 @@ func TestDRAMRowBufferModel(t *testing.T) {
 
 	var first, second, third int64 = -1, -1, -1
 	// Two accesses in the same row: second is a row hit.
-	sys.AccessGlobal(0, 0x0000, false, func() { first = ev.Now() })
-	sys.AccessGlobal(0, 0x0080, false, func() { second = ev.Now() })
+	sys.AccessGlobal(0, 0x0000, false, event.CompletionFunc(func() { first = ev.Now() }))
+	sys.AccessGlobal(0, 0x0080, false, event.CompletionFunc(func() { second = ev.Now() }))
 	// Different row, same bank: pays the penalty again.
 	rowStride := uint32(cfg.DRAMRowBytes * cfg.DRAMBanks)
-	sys.AccessGlobal(0, rowStride, false, func() { third = ev.Now() })
+	sys.AccessGlobal(0, rowStride, false, event.CompletionFunc(func() { third = ev.Now() }))
 	for i := int64(1); third < 0 && i < 100000; i++ {
 		ev.AdvanceTo(i)
 	}
@@ -354,8 +354,8 @@ func TestDRAMBanksOverlapRowMisses(t *testing.T) {
 				done = ev.Now()
 			}
 		}
-		sys.AccessGlobal(0, a1, false, cb)
-		sys.AccessGlobal(0, a2, false, cb)
+		sys.AccessGlobal(0, a1, false, event.CompletionFunc(cb))
+		sys.AccessGlobal(0, a2, false, event.CompletionFunc(cb))
 		for i := int64(1); done < 0 && i < 100000; i++ {
 			ev.AdvanceTo(i)
 		}
@@ -375,7 +375,7 @@ func TestFlatModelWhenBanksDisabled(t *testing.T) {
 	ev := event.NewQueue()
 	sys := NewSystem(&cfg, ev)
 	done := false
-	sys.AccessGlobal(0, 0x100, false, func() { done = true })
+	sys.AccessGlobal(0, 0x100, false, event.CompletionFunc(func() { done = true }))
 	for i := int64(1); !done && i < 100000; i++ {
 		ev.AdvanceTo(i)
 	}
@@ -403,7 +403,7 @@ func TestPartitionInterleaving(t *testing.T) {
 		const n = 64
 		done := 0
 		for i := 0; i < n; i++ {
-			sys.AccessGlobal(0, uint32(i*128), false, func() { done++ })
+			sys.AccessGlobal(0, uint32(i*128), false, event.CompletionFunc(func() { done++ }))
 		}
 		for i := int64(1); done < n && i < 1_000_000; i++ {
 			ev.AdvanceTo(i)
@@ -435,9 +435,9 @@ func TestFRFCFSPrefersRowHits(t *testing.T) {
 	// FR-FCFS serves the second row0 request before row1, costing 2.
 	var order []int
 	mk := func(id int) func() { return func() { order = append(order, id) } }
-	sys.AccessGlobal(0, 0, false, mk(0))
-	sys.AccessGlobal(0, 2048, false, mk(1))
-	sys.AccessGlobal(0, 128, false, mk(2))
+	sys.AccessGlobal(0, 0, false, event.CompletionFunc(mk(0)))
+	sys.AccessGlobal(0, 2048, false, event.CompletionFunc(mk(1)))
+	sys.AccessGlobal(0, 128, false, event.CompletionFunc(mk(2)))
 	for i := int64(1); len(order) < 3 && i < 100000; i++ {
 		ev.AdvanceTo(i)
 	}

@@ -74,7 +74,7 @@ func (s *SM) Diagnose() Diag {
 		ThreadsUsed:  s.ThreadsUsed,
 		RestoreReady: s.restoreReady,
 		ReadyMask:    append([]uint64(nil), s.ready...),
-		LSUOps:       len(s.lsuQueue),
+		LSUOps:       s.LSUQueueLen(),
 		WheelPending: s.wb.pending,
 	}
 	for _, sc := range s.schedulers {
@@ -83,7 +83,8 @@ func (s *SM) Diagnose() Diag {
 		d.BlockedALU += sc.nALU
 		d.BlockedBarrier += sc.nBar
 	}
-	for _, op := range s.lsuQueue {
+	for _, idx := range s.lsuQueue[s.lsuHead:] {
+		op := &s.lsuPool[idx]
 		d.LSULinesPending += len(op.lines) - op.next
 	}
 	for _, c := range s.Resident {

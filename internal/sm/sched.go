@@ -670,17 +670,19 @@ func (sc *scheduler) memIssue(w *warp.Warp, in *isa.Instr, info warp.ExecInfo) {
 	if !s.Cfg.L1D.Enabled {
 		lineSize = s.Cfg.L2.LineSize
 	}
-	lines := mem.CoalesceLines(info.Addrs, info.Active, lineSize)
-	if len(lines) == 0 {
+	idx := s.allocOp()
+	op := &s.lsuPool[idx]
+	op.lines = mem.CoalesceLinesInto(op.lines[:0], info.Addrs, info.Active, lineSize)
+	if len(op.lines) == 0 {
+		s.freeOp(idx)
 		return // no active lanes touched memory
 	}
-	s.Stats.GlobalTxns += int64(len(lines))
-	op := &lsuOp{
-		w:         w,
-		write:     in.Op.IsStore(),
-		lines:     lines,
-		remaining: len(lines),
-	}
+	s.Stats.GlobalTxns += int64(len(op.lines))
+	op.w = w
+	op.dst = 0
+	op.write = in.Op.IsStore()
+	op.next = 0
+	op.remaining = len(op.lines)
 	if in.Op.IsLoad() || in.Op.IsAtomic() {
 		// Atomics wait for the round trip like loads (the old value —
 		// or at least the completion — comes back from the L2/ROP).
@@ -688,5 +690,5 @@ func (sc *scheduler) memIssue(w *warp.Warp, in *isa.Instr, info warp.ExecInfo) {
 		w.SB.MarkPending(in.Dst, true)
 		w.OutstandingLoads++
 	}
-	s.lsuQueue = append(s.lsuQueue, op)
+	s.lsuQueue = append(s.lsuQueue, idx)
 }

@@ -91,7 +91,9 @@ func (st *Stats) IPC() float64 {
 }
 
 // lsuOp is one in-flight warp memory instruction being streamed into the
-// memory system, one coalesced line per cycle.
+// memory system, one coalesced line per cycle. Ops live in the SM's
+// lsuPool arena and are referenced by index (pool growth would invalidate
+// pointers); the lines buffer is recycled with the op.
 type lsuOp struct {
 	w         *warp.Warp
 	dst       isa.Reg
@@ -99,6 +101,38 @@ type lsuOp struct {
 	lines     []uint32
 	next      int // next line to inject
 	remaining int // responses outstanding (reads)
+}
+
+// farWB is one writeback completion scheduled past the local wheel's
+// horizon (out-of-range latency configs only); pooled like lsuOps.
+type farWB struct {
+	w   *warp.Warp
+	reg isa.Reg
+}
+
+// SM event kinds delivered through HandleEvent.
+const (
+	evLoadLine uint8 = iota // one coalesced line of a global load arrived (a = lsuPool index)
+	evFarWB                 // beyond-wheel writeback latency elapsed (a = farWBs index)
+)
+
+// HandleEvent dispatches the SM's typed memory-completion events.
+func (s *SM) HandleEvent(kind uint8, a, b uint32) {
+	switch kind {
+	case evLoadLine:
+		op := &s.lsuPool[a]
+		op.remaining--
+		if op.remaining == 0 {
+			s.loadComplete(int32(a))
+		}
+	case evFarWB:
+		rec := s.farWBs[a]
+		s.farWBs[a] = farWB{}
+		s.farWBFree = append(s.farWBFree, int32(a))
+		s.WakeUp()
+		rec.w.SB.ClearPending(rec.reg)
+		s.refreshWarp(rec.w)
+	}
 }
 
 // SM is one streaming multiprocessor.
@@ -144,8 +178,21 @@ type SM struct {
 	schedulers []*scheduler
 	sfuFreeAt  int64
 	smemFreeAt int64
-	lsuQueue   []*lsuOp
-	wb         wbWheel // short-latency writeback completions (SM-local)
+
+	// Load-store unit state: ops live in the lsuPool arena, recycled
+	// through lsuFree; lsuQueue[lsuHead:] orders in-flight ops by pool
+	// index (head index instead of re-slicing so the backing array is
+	// reused instead of reallocated as the queue drains and refills).
+	lsuPool  []lsuOp
+	lsuFree  []int32
+	lsuQueue []int32
+	lsuHead  int
+
+	// Beyond-wheel writeback records (rare), pooled the same way.
+	farWBs    []farWB
+	farWBFree []int32
+
+	wb wbWheel // short-latency writeback completions (SM-local)
 
 	// DisableFastPath routes issue selection, stall classification, and
 	// quiescence detection through the original full scans instead of the
@@ -203,7 +250,15 @@ func (wb *wbWheel) init(maxLat int) {
 	for size < int64(maxLat)+2 {
 		size <<= 1
 	}
+	// Carve each slot's initial capacity from one slab so first-use
+	// growth across the ring is a single allocation; hot slots that
+	// outgrow it reallocate individually and keep the larger capacity.
+	const slotCap = 2
+	slab := make([]wbEntry, size*slotCap)
 	wb.slots = make([][]wbEntry, size)
+	for i := range wb.slots {
+		wb.slots[i] = slab[i*slotCap : i*slotCap : (i+1)*slotCap]
+	}
 	wb.mask = size - 1
 }
 
@@ -319,18 +374,23 @@ func New(id int, cfg *config.GPUConfig, ev *event.Queue, msys *mem.System,
 }
 
 // scheduleWB registers a scoreboard clear for dst after lat cycles on the
-// SM-local wheel, falling back to the event queue for latencies beyond the
-// wheel's horizon (possible only with out-of-range configs).
+// SM-local wheel, falling back to a typed event on the queue for latencies
+// beyond the wheel's horizon (possible only with out-of-range configs).
 func (s *SM) scheduleWB(lat int64, w *warp.Warp, dst isa.Reg) {
 	if lat <= s.wb.capacity() {
 		s.wb.schedule(s.Ev.Now()+lat, w, dst)
 		return
 	}
-	s.Ev.After(lat, func() {
-		s.WakeUp()
-		w.SB.ClearPending(dst)
-		s.refreshWarp(w)
-	})
+	var idx int32
+	if n := len(s.farWBFree); n > 0 {
+		idx = s.farWBFree[n-1]
+		s.farWBFree = s.farWBFree[:n-1]
+		s.farWBs[idx] = farWB{w: w, reg: dst}
+	} else {
+		idx = int32(len(s.farWBs))
+		s.farWBs = append(s.farWBs, farWB{w: w, reg: dst})
+	}
+	s.Ev.PostAfter(lat, s, evFarWB, uint32(idx), 0)
 }
 
 // NextWake returns the earliest cycle at which this SM's local wheel will
@@ -572,7 +632,7 @@ func (s *SM) StepPhase() bool {
 // an external event: no LSU traffic pending and no warp ready to issue.
 // The engine uses it to fast-forward across long memory stalls.
 func (s *SM) Quiescent() bool {
-	if len(s.lsuQueue) > 0 {
+	if s.lsuHead != len(s.lsuQueue) {
 		return false
 	}
 	now := s.Ev.Now()
@@ -676,22 +736,38 @@ func (s *SM) accumOccupancy() {
 	st.ResidentWarpAccum += int64(rw)
 }
 
+// allocOp takes an lsuOp from the free list (or grows the arena) and
+// returns its pool index.
+func (s *SM) allocOp() int32 {
+	if n := len(s.lsuFree); n > 0 {
+		idx := s.lsuFree[n-1]
+		s.lsuFree = s.lsuFree[:n-1]
+		return idx
+	}
+	s.lsuPool = append(s.lsuPool, lsuOp{})
+	return int32(len(s.lsuPool) - 1)
+}
+
+// freeOp recycles an op, keeping its lines buffer for reuse.
+func (s *SM) freeOp(idx int32) {
+	op := &s.lsuPool[idx]
+	op.w = nil
+	op.lines = op.lines[:0]
+	s.lsuFree = append(s.lsuFree, idx)
+}
+
 // lsuTick streams one coalesced transaction of the head LSU operation into
 // the memory system per cycle, retrying on MSHR backpressure.
 func (s *SM) lsuTick() {
-	if len(s.lsuQueue) == 0 {
+	if s.lsuHead == len(s.lsuQueue) {
 		return
 	}
-	op := s.lsuQueue[0]
+	idx := s.lsuQueue[s.lsuHead]
+	op := &s.lsuPool[idx]
 	line := op.lines[op.next]
-	var done func()
+	var done event.Completion
 	if !op.write {
-		done = func() {
-			op.remaining--
-			if op.remaining == 0 {
-				s.loadComplete(op)
-			}
-		}
+		done = event.Completion{H: s, Kind: evLoadLine, A: uint32(idx)}
 	}
 	if !s.Mem.AccessGlobal(s.ID, line, op.write, done) {
 		s.Stats.LSURetries++
@@ -699,17 +775,26 @@ func (s *SM) lsuTick() {
 	}
 	op.next++
 	if op.next == len(op.lines) {
-		s.lsuQueue = s.lsuQueue[1:]
+		s.lsuHead++
+		if s.lsuHead == len(s.lsuQueue) {
+			s.lsuHead = 0
+			s.lsuQueue = s.lsuQueue[:0]
+		}
+		if op.write {
+			s.freeOp(idx) // stores have no responses; reads free in loadComplete
+		}
 	}
 }
 
 // loadComplete fires when the last line of a warp load returns: the
 // destination becomes readable and, if this was the CTA's last outstanding
 // load while swapped out, the controller learns it is ready again.
-func (s *SM) loadComplete(op *lsuOp) {
+func (s *SM) loadComplete(idx int32) {
 	s.WakeUp() // flush fast-forward accounting before mutating state
-	w := op.w
-	w.SB.ClearPending(op.dst)
+	op := &s.lsuPool[idx]
+	w, dst := op.w, op.dst
+	s.freeOp(idx)
+	w.SB.ClearPending(dst)
 	w.OutstandingLoads--
 	s.refreshWarp(w)
 	c := w.CTA
@@ -721,11 +806,11 @@ func (s *SM) loadComplete(op *lsuOp) {
 
 // lsuHasRoom reports whether another warp memory instruction can enter the
 // LSU queue.
-func (s *SM) lsuHasRoom() bool { return len(s.lsuQueue) < s.Cfg.LSUQueueDepth }
+func (s *SM) lsuHasRoom() bool { return len(s.lsuQueue)-s.lsuHead < s.Cfg.LSUQueueDepth }
 
 // LSUQueueLen returns the number of warp memory instructions queued in
 // the load-store unit (telemetry occupancy gauge).
-func (s *SM) LSUQueueLen() int { return len(s.lsuQueue) }
+func (s *SM) LSUQueueLen() int { return len(s.lsuQueue) - s.lsuHead }
 
 // WheelPending returns the number of writeback completions pending on the
 // SM-local timing wheel (telemetry occupancy gauge).

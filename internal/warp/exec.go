@@ -95,12 +95,135 @@ func Execute(w *Warp, in *isa.Instr, gmem *mem.Backing, addrBuf []uint32, log *G
 		return info
 	}
 
-	for m := active; m != 0; m &= m - 1 {
-		lane := bits.TrailingZeros64(uint64(m))
-		w.SetReg(in.Dst, lane, evalALU(w, in, lane))
-	}
+	execALULanes(w, in, active)
 	w.Stack.Advance()
 	return info
+}
+
+// execALULanes applies a non-memory, non-control instruction to all active
+// lanes. The hottest ops get dedicated lane loops so the opcode dispatch,
+// the immediate-select branch, and unused-operand reads happen once per
+// warp instead of once per lane; everything else falls through to the
+// per-lane reference evaluator (evalALU), which stays the single source of
+// semantic truth. Each specialized loop must compute exactly what evalALU
+// computes for its opcode.
+func execALULanes(w *Warp, in *isa.Instr, active simt.Mask) {
+	dst := in.Dst
+	switch in.Op {
+	case isa.OpIAdd:
+		if in.UseImm {
+			imm := in.Imm
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(uint64(m))
+				w.SetReg(dst, lane, w.Reg(in.SrcA, lane)+imm)
+			}
+		} else {
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(uint64(m))
+				w.SetReg(dst, lane, w.Reg(in.SrcA, lane)+w.Reg(in.SrcB, lane))
+			}
+		}
+	case isa.OpISub:
+		if in.UseImm {
+			imm := in.Imm
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(uint64(m))
+				w.SetReg(dst, lane, w.Reg(in.SrcA, lane)-imm)
+			}
+		} else {
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(uint64(m))
+				w.SetReg(dst, lane, w.Reg(in.SrcA, lane)-w.Reg(in.SrcB, lane))
+			}
+		}
+	case isa.OpIMad:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(uint64(m))
+			a := w.Reg(in.SrcA, lane)
+			var b uint32
+			if in.UseImm {
+				b = in.Imm
+			} else {
+				b = w.Reg(in.SrcB, lane)
+			}
+			w.SetReg(dst, lane, a*b+w.Reg(in.SrcC, lane))
+		}
+	case isa.OpIMin:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(uint64(m))
+			a := w.Reg(in.SrcA, lane)
+			b := in.Imm
+			if !in.UseImm {
+				b = w.Reg(in.SrcB, lane)
+			}
+			if int32(b) < int32(a) {
+				a = b
+			}
+			w.SetReg(dst, lane, a)
+		}
+	case isa.OpIMax:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(uint64(m))
+			a := w.Reg(in.SrcA, lane)
+			b := in.Imm
+			if !in.UseImm {
+				b = w.Reg(in.SrcB, lane)
+			}
+			if int32(b) > int32(a) {
+				a = b
+			}
+			w.SetReg(dst, lane, a)
+		}
+	case isa.OpMov:
+		if in.UseImm {
+			imm := in.Imm
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(uint64(m))
+				w.SetReg(dst, lane, imm)
+			}
+		} else {
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(uint64(m))
+				w.SetReg(dst, lane, w.Reg(in.SrcA, lane))
+			}
+		}
+	case isa.OpSetp:
+		kind := isa.CmpKind(in.Imm)
+		if in.UseImm {
+			kind = isa.CmpKind(in.Target)
+		}
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(uint64(m))
+			a := w.Reg(in.SrcA, lane)
+			b := in.Imm
+			if !in.UseImm {
+				b = w.Reg(in.SrcB, lane)
+			}
+			var v uint32
+			if compare(kind, a, b) {
+				v = 1
+			}
+			w.SetReg(dst, lane, v)
+		}
+	case isa.OpSelp:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(uint64(m))
+			v := w.Reg(in.SrcA, lane)
+			if w.Reg(in.SrcC, lane) == 0 {
+				if in.UseImm {
+					v = in.Imm
+				} else {
+					v = w.Reg(in.SrcB, lane)
+				}
+			}
+			w.SetReg(dst, lane, v)
+		}
+	default:
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(uint64(m))
+			w.SetReg(dst, lane, evalALU(w, in, lane))
+		}
+	}
 }
 
 // execGlobalLanes performs the per-lane functional work of a global
