@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -47,11 +48,22 @@ type report struct {
 	SimCycles       int64   `json:"sim_cycles"`
 	SimCyclesPerSec float64 `json:"simcycles_per_sec"`
 
+	// Experiments are the per-experiment records; compared informationally
+	// (never gated — diluted per-experiment rates are too noisy).
+	Experiments []expRecord `json:"experiments"`
+
 	// SimulationBenchmark carries the committed allocation record the
 	// -allocs mode gates against; absent in plain vtbench -json output.
 	SimulationBenchmark struct {
 		CurrentAllocsPerRun float64 `json:"current_allocs_per_run"`
 	} `json:"simulation_benchmark"`
+}
+
+// expRecord is one experiment's row in a report.
+type expRecord struct {
+	ID              string  `json:"id"`
+	SimCycles       int64   `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"simcycles_per_sec"`
 }
 
 // parseAllocs extracts allocs/op for the named benchmark from `go test
@@ -92,6 +104,49 @@ func checkAllocs(base, cur, tolerance float64) error {
 		base, cur, cur/base, ceiling)
 	if cur > ceiling {
 		return fmt.Errorf("allocs/run grew beyond %.0f%% tolerance", tolerance*100)
+	}
+	return nil
+}
+
+// checkThroughput gates the total simcycles/s against the baseline and
+// prints per-experiment ratios for context. Records whose
+// simcycles_per_sec is 0 are *unpopulated* — static tables that run no
+// simulations, or experiments fully served from the cache in the sweep
+// that produced the report — so they are skipped with a note instead of
+// yielding a divide-by-zero ratio or a vacuous pass.
+func checkThroughput(w io.Writer, base, cur report, tolerance float64) error {
+	if base.SimCyclesPerSec <= 0 {
+		return fmt.Errorf("baseline has no simcycles_per_sec")
+	}
+	if cur.SimCycles == 0 {
+		// An all-cache-hit run measured nothing; refuse to pass vacuously.
+		return fmt.Errorf("current report simulated 0 cycles (cache-only run?)")
+	}
+	curByID := make(map[string]expRecord, len(cur.Experiments))
+	for _, e := range cur.Experiments {
+		curByID[e.ID] = e
+	}
+	skipped := 0
+	for _, b := range base.Experiments {
+		c, ok := curByID[b.ID]
+		if !ok {
+			continue
+		}
+		if b.SimCyclesPerSec == 0 || c.SimCyclesPerSec == 0 {
+			skipped++
+			continue
+		}
+		fmt.Fprintf(w, "benchcheck:   %-18s %.2fx\n", b.ID, c.SimCyclesPerSec/b.SimCyclesPerSec)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "benchcheck: skipped %d unpopulated record(s) (simcycles_per_sec: 0)\n", skipped)
+	}
+	floor := base.SimCyclesPerSec * (1 - tolerance)
+	ratio := cur.SimCyclesPerSec / base.SimCyclesPerSec
+	fmt.Fprintf(w, "benchcheck: baseline %.0f current %.0f simcycles/s (%.2fx, floor %.0f)\n",
+		base.SimCyclesPerSec, cur.SimCyclesPerSec, ratio, floor)
+	if cur.SimCyclesPerSec < floor {
+		return fmt.Errorf("regression beyond %.0f%% tolerance", tolerance*100)
 	}
 	return nil
 }
@@ -158,16 +213,13 @@ func main() {
 		os.Exit(2)
 	}
 	if cur.SimCycles == 0 {
-		// An all-cache-hit run measured nothing; refuse to pass vacuously.
+		// An all-cache-hit run measured nothing: unusable input (exit 2),
+		// not a regression.
 		fmt.Fprintf(os.Stderr, "benchcheck: current report simulated 0 cycles (cache-only run?)\n")
 		os.Exit(2)
 	}
-	floor := base.SimCyclesPerSec * (1 - *tolerance)
-	ratio := cur.SimCyclesPerSec / base.SimCyclesPerSec
-	fmt.Printf("benchcheck: baseline %.0f current %.0f simcycles/s (%.2fx, floor %.0f)\n",
-		base.SimCyclesPerSec, cur.SimCyclesPerSec, ratio, floor)
-	if cur.SimCyclesPerSec < floor {
-		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: regression beyond %.0f%% tolerance\n", *tolerance*100)
+	if err := checkThroughput(os.Stdout, base, cur, *tolerance); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("benchcheck: OK")

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -106,6 +107,61 @@ func TestLoadSimulationBenchmark(t *testing.T) {
 	}
 	if r.SimulationBenchmark.CurrentAllocsPerRun != 6878 {
 		t.Fatalf("simulation_benchmark mangled: %+v", r.SimulationBenchmark)
+	}
+}
+
+// TestCheckThroughputSkipsUnpopulatedRecords: per-experiment records with
+// simcycles_per_sec 0 — static tables that simulate nothing, or
+// experiments fully served from the cache when the report was produced —
+// are unpopulated, not "infinitely slow". A mixed record file must
+// compare only the populated pairs, note the skips, and never divide by
+// zero or pass a record vacuously.
+func TestCheckThroughputSkipsUnpopulatedRecords(t *testing.T) {
+	base := report{
+		SimCycles:       1000,
+		SimCyclesPerSec: 1000,
+		Experiments: []expRecord{
+			{ID: "table1-config", SimCyclesPerSec: 0}, // static table
+			{ID: "fig-speedup", SimCyclesPerSec: 0},   // cache-only in baseline
+			{ID: "fig-tlp", SimCyclesPerSec: 500},     // populated both sides
+			{ID: "fig-swaplat", SimCyclesPerSec: 800}, // populated in baseline only
+		},
+	}
+	cur := report{
+		SimCycles:       900,
+		SimCyclesPerSec: 950,
+		Experiments: []expRecord{
+			{ID: "table1-config", SimCyclesPerSec: 0},
+			{ID: "fig-speedup", SimCyclesPerSec: 700},
+			{ID: "fig-tlp", SimCyclesPerSec: 450},
+			{ID: "fig-swaplat", SimCyclesPerSec: 0}, // cache-only now
+		},
+	}
+	var out strings.Builder
+	if err := checkThroughput(&out, base, cur, 0.30); err != nil {
+		t.Fatalf("mixed records must pass when the total holds: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "skipped 3 unpopulated record(s)") {
+		t.Fatalf("missing skip note for the 3 zero-rate records:\n%s", s)
+	}
+	if !strings.Contains(s, "fig-tlp") {
+		t.Fatalf("populated pair not compared:\n%s", s)
+	}
+	for _, id := range []string{"table1-config", "fig-speedup", "fig-swaplat"} {
+		if strings.Contains(s, id) {
+			t.Fatalf("unpopulated record %s compared anyway:\n%s", id, s)
+		}
+	}
+	if strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
+		t.Fatalf("division by an unpopulated rate leaked into output:\n%s", s)
+	}
+
+	// The total still gates: a real regression fails regardless of skips.
+	slow := cur
+	slow.SimCyclesPerSec = 600
+	if err := checkThroughput(&out, base, slow, 0.30); err == nil {
+		t.Fatal("total regression beyond tolerance must fail")
 	}
 }
 

@@ -14,6 +14,8 @@
 //	vtbench -cachedir c -resume       # continue an interrupted/failed sweep
 //	vtbench -monitor :8080            # live sweep progress (HTML + /status JSON)
 //	vtbench -telemetry                # collect per-run telemetry (totals in -json)
+//	vtbench -checkpoint               # prefix-fork sweep points that share a run prefix
+//	vtbench -checkpoint -forkcycle N  # pin the donor's capture to cycle >= N
 //
 // Exit codes: 0 on success, 1 on a fatal setup error, 3 when the sweep
 // completed but one or more runs failed (repro bundles in -faildir, the
@@ -55,7 +57,12 @@ type expReport struct {
 // (cmd/benchcheck) decode with encoding/json, which ignores unknown
 // fields, so adding fields never breaks old baselines; bump this only
 // for changes that alter the meaning of existing fields.
-const benchReportSchemaVersion = 2
+//
+// v3: with -checkpoint, sim_cycles counts only cycles actually simulated
+// — forked runs add their post-fork suffix alone (the skipped prefix is
+// reported in prefix_cycles_saved) — so simcycles_per_sec is not
+// comparable to a v2 baseline produced without forking.
+const benchReportSchemaVersion = 3
 
 // benchReport is the top-level -json document.
 type benchReport struct {
@@ -80,6 +87,11 @@ type benchReport struct {
 	// Telemetry aggregates (-telemetry sweeps only).
 	TelemetryWindows int64 `json:"telemetry_windows,omitempty"`
 	TelemetrySpans   int64 `json:"telemetry_spans,omitempty"`
+	// Prefix-fork counters (-checkpoint sweeps only).
+	CheckpointsCaptured int   `json:"checkpoints_captured,omitempty"`
+	CheckpointHits      int   `json:"checkpoint_hits,omitempty"`
+	CheckpointMisses    int   `json:"checkpoint_misses,omitempty"`
+	PrefixCyclesSaved   int64 `json:"prefix_cycles_saved,omitempty"`
 
 	Experiments []expReport `json:"experiments"`
 }
@@ -104,6 +116,8 @@ func realMain() int {
 		injectSpec = flag.String("inject", "", "inject a deterministic fault: workload[/variant]@cycle:kind (kind: panic, panic-once, corrupt, hang=<dur>)")
 		resume     = flag.Bool("resume", false, "resume an interrupted or partially failed sweep from the -cachedir journal")
 		telemetry  = flag.Bool("telemetry", false, "attach a telemetry collector to every executed run (window/span totals land in -json)")
+		checkpoint = flag.Bool("checkpoint", false, "prefix-fork sweep points that differ only in late-consumed parameters (bit-identical results, shared prefix simulated once)")
+		forkCycle  = flag.Int64("forkcycle", 0, "with -checkpoint, pin the donor's capture to the first cycle >= N (0 = adaptive periodic capture)")
 		monitor    = flag.String("monitor", "", "serve live sweep progress (HTML + /status JSON) on this address, e.g. :8080")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -156,6 +170,8 @@ func realMain() int {
 	p.RunTimeout = *timeout
 	p.CheckInvariants = *checkInv
 	p.Telemetry = *telemetry
+	p.Checkpoint = *checkpoint
+	p.ForkCycle = *forkCycle
 
 	if *monitor != "" {
 		ln, err := net.Listen("tcp", *monitor)
@@ -260,10 +276,18 @@ func realMain() int {
 	report.ResumedFailed = m.ResumedFailed
 	report.TelemetryWindows = m.TelemetryWindows
 	report.TelemetrySpans = m.TelemetrySpans
+	report.CheckpointsCaptured = m.CheckpointsCaptured
+	report.CheckpointHits = m.CheckpointHits
+	report.CheckpointMisses = m.CheckpointMisses
+	report.PrefixCyclesSaved = m.PrefixCyclesSaved
 	if report.TotalWallSec > 0 {
 		report.SimCyclesPerSec = float64(m.SimCycles) / report.TotalWallSec
 	}
 	fmt.Fprintf(w, "total wall time: %s\n", time.Duration(report.TotalWallSec*float64(time.Second)).Round(time.Millisecond))
+	if *checkpoint && (m.CheckpointHits > 0 || m.CheckpointMisses > 0 || m.CheckpointsCaptured > 0) {
+		fmt.Fprintf(w, "checkpoints: %d captured, %d forks, %d misses, %d prefix cycles saved\n",
+			m.CheckpointsCaptured, m.CheckpointHits, m.CheckpointMisses, m.PrefixCyclesSaved)
+	}
 	if m.Retries > 0 || m.Failures > 0 {
 		fmt.Fprintf(w, "supervisor: %d safe-mode retries, %d degraded, %d failed runs\n",
 			m.Retries, m.Degraded, m.Failures)

@@ -231,6 +231,26 @@ func (g *Grid) Next(fit func(regs, smem, warps, threads int) bool) *warp.CTA {
 	return c
 }
 
+// Cursor returns the number of CTAs already dispensed, for snapshotting.
+func (g *Grid) Cursor() int { return g.next }
+
+// SetCursor restores the dispense position (the inverse of Cursor).
+func (g *Grid) SetCursor(n int) { g.next = n }
+
+// Materialize instantiates the flatID'th CTA of this grid with a fresh
+// (pristine) runtime state and the grid's footprint stamps, without
+// touching the dispense cursor. Checkpoint restore uses it to rebuild the
+// deterministic structure of a resident CTA before overlaying dynamic
+// state.
+func (g *Grid) Materialize(flatID int) *warp.CTA {
+	c := warp.NewCTA(g.launch, flatID, g.warpSize)
+	c.KernelID = g.kernelID
+	c.RegsAlloc = g.fp.Regs
+	c.SMemAlloc = g.fp.SMem
+	c.Threads = g.fp.Threads
+	return c
+}
+
 var _ Source = (*Grid)(nil)
 
 // MultiGrid interleaves several grids round-robin, the concurrent-kernel
@@ -274,6 +294,40 @@ func (m *MultiGrid) Remaining() int {
 		total += g.Remaining()
 	}
 	return total
+}
+
+// Cursors returns each grid's dispense position plus the round-robin
+// index — the dispatcher's complete serializable state.
+func (m *MultiGrid) Cursors() (next []int, rr int) {
+	next = make([]int, len(m.grids))
+	for i, g := range m.grids {
+		next[i] = g.Cursor()
+	}
+	return next, m.rr
+}
+
+// SetCursors restores the dispatcher state (the inverse of Cursors).
+func (m *MultiGrid) SetCursors(next []int, rr int) error {
+	if len(next) != len(m.grids) {
+		return fmt.Errorf("cta: cursor count %d does not match %d grids", len(next), len(m.grids))
+	}
+	for i, g := range m.grids {
+		if next[i] < 0 || next[i] > g.Total() {
+			return fmt.Errorf("cta: grid %d cursor %d out of range [0,%d]", i, next[i], g.Total())
+		}
+		g.SetCursor(next[i])
+	}
+	m.rr = rr
+	return nil
+}
+
+// Materialize rebuilds the flatID'th CTA of the kernelID'th grid; see
+// Grid.Materialize.
+func (m *MultiGrid) Materialize(kernelID, flatID int) (*warp.CTA, error) {
+	if kernelID < 0 || kernelID >= len(m.grids) {
+		return nil, fmt.Errorf("cta: kernel id %d out of range", kernelID)
+	}
+	return m.grids[kernelID].Materialize(flatID), nil
 }
 
 var _ Source = (*MultiGrid)(nil)

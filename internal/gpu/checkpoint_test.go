@@ -1,0 +1,317 @@
+package gpu
+
+// Checkpoint/restore contract: resuming from a checkpoint captured at any
+// quiescent cycle boundary must produce a Result bit-identical
+// (reflect.DeepEqual) to the uninterrupted run — for every policy, every
+// engine variant, and workloads that exercise swaps, barriers, and
+// divergence. Capturing must also be a pure observer: a run that takes
+// checkpoints returns exactly the same Result as one that does not.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+// buildLaunch builds a fresh small-grid launch plus its memory image.
+func buildLaunch(t *testing.T, workload string) (*isa.Launch, Options) {
+	t.Helper()
+	w, err := kernels.Build(workload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch.GridDim = isa.Dim1(24)
+	return w.Launch, Options{InitMemory: w.Init}
+}
+
+// runPlain runs the workload without any checkpointing.
+func runPlain(t *testing.T, workload string, cfg config.GPUConfig, opts Options) *Result {
+	t.Helper()
+	l, base := buildLaunch(t, workload)
+	base.DisableIdleSkip = opts.DisableIdleSkip
+	base.DisableIssueFastPath = opts.DisableIssueFastPath
+	base.DisableEventWheel = opts.DisableEventWheel
+	base.Parallelism = opts.Parallelism
+	base.SampleInterval = opts.SampleInterval
+	res, err := Run(l, cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runCapturing runs the workload with a one-shot checkpoint at the given
+// cycle, returning the run's result and the captured checkpoint (nil if
+// the run finished first).
+func runCapturing(t *testing.T, workload string, cfg config.GPUConfig, opts Options, at int64) (*Result, *Checkpoint) {
+	t.Helper()
+	l, base := buildLaunch(t, workload)
+	base.DisableIdleSkip = opts.DisableIdleSkip
+	base.DisableIssueFastPath = opts.DisableIssueFastPath
+	base.DisableEventWheel = opts.DisableEventWheel
+	base.Parallelism = opts.Parallelism
+	base.SampleInterval = opts.SampleInterval
+	var ck *Checkpoint
+	base.CheckpointAt = at
+	base.OnCheckpoint = func(c *Checkpoint) { ck = c }
+	res, err := Run(l, cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, ck
+}
+
+// resume rebuilds fresh launches and resumes the checkpoint under cfg.
+func resume(t *testing.T, workload string, ck *Checkpoint, cfg config.GPUConfig, opts Options) *Result {
+	t.Helper()
+	l, _ := buildLaunch(t, workload)
+	res, err := Resume(ck, []*isa.Launch{l}, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCheckpointForkEquivalence(t *testing.T) {
+	policies := []config.Policy{
+		config.PolicyBaseline, config.PolicyVT, config.PolicyFullSwap, config.PolicyIdeal,
+	}
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"seq", Options{Parallelism: 1}},
+		{"par4", Options{Parallelism: 4}},
+		{"noidleskip", Options{Parallelism: 1, DisableIdleSkip: true}},
+		{"slowpath", Options{Parallelism: 1, DisableIssueFastPath: true}},
+		{"heapqueue", Options{Parallelism: 1, DisableEventWheel: true}},
+	}
+	for _, workload := range []string{"pathfinder", "bfs"} {
+		for _, policy := range policies {
+			for _, v := range variants {
+				workload, policy, v := workload, policy, v
+				t.Run(workload+"/"+policy.String()+"/"+v.name, func(t *testing.T) {
+					cfg := config.Small().WithPolicy(policy)
+					ref := runPlain(t, workload, cfg, v.opts)
+					at := ref.Cycles / 2
+					if at < 1 {
+						t.Skipf("run too short to fork (%d cycles)", ref.Cycles)
+					}
+					donor, ck := runCapturing(t, workload, cfg, v.opts, at)
+					if !reflect.DeepEqual(ref, donor) {
+						t.Fatalf("capturing run diverged from plain run (checkpointing is not a pure observer)")
+					}
+					if ck == nil {
+						t.Fatalf("no checkpoint captured at cycle %d of %d", at, ref.Cycles)
+					}
+					forked := resume(t, workload, ck, cfg, v.opts)
+					if !reflect.DeepEqual(ref, forked) {
+						t.Fatalf("fork at cycle %d diverged from uninterrupted run:\nref:    cycles=%d issued=%d mem=%+v vt=%+v\nforked: cycles=%d issued=%d mem=%+v vt=%+v",
+							ck.Cycle,
+							ref.Cycles, ref.SM.Issued, ref.Mem, ref.VT,
+							forked.Cycles, forked.SM.Issued, forked.Mem, forked.VT)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCheckpointForkEquivalenceTimeline covers the run-loop bookkeeping:
+// a forked run's occupancy timeline must splice exactly onto the prefix's.
+func TestCheckpointForkEquivalenceTimeline(t *testing.T) {
+	cfg := config.Small().WithPolicy(config.PolicyVT)
+	opts := Options{Parallelism: 1, SampleInterval: 64}
+	ref := runPlain(t, "pathfinder", cfg, opts)
+	_, ck := runCapturing(t, "pathfinder", cfg, opts, ref.Cycles/2)
+	if ck == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	forked := resume(t, "pathfinder", ck, cfg, opts)
+	if !reflect.DeepEqual(ref.Timeline, forked.Timeline) {
+		t.Fatalf("timelines diverged: ref %d samples, forked %d samples",
+			len(ref.Timeline), len(forked.Timeline))
+	}
+}
+
+// TestCheckpointRandomCycles is the property test: forking at arbitrary
+// (pseudo-random) cycles must always reproduce the uninterrupted run.
+// CheckpointAt rounds up to the next simulated cycle, so any target in
+// [1, Cycles) names a valid quiescent boundary.
+func TestCheckpointRandomCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, policy := range []config.Policy{config.PolicyVT, config.PolicyFullSwap} {
+		cfg := config.Small().WithPolicy(policy)
+		ref := runPlain(t, "nw", cfg, Options{Parallelism: 1})
+		for i := 0; i < 5; i++ {
+			at := 1 + rng.Int63n(ref.Cycles-1)
+			_, ck := runCapturing(t, "nw", cfg, Options{Parallelism: 1}, at)
+			if ck == nil {
+				t.Fatalf("policy %v: no checkpoint at cycle %d of %d", policy, at, ref.Cycles)
+			}
+			forked := resume(t, "nw", ck, cfg, Options{Parallelism: 1})
+			if !reflect.DeepEqual(ref, forked) {
+				t.Fatalf("policy %v: fork at cycle %d (target %d) diverged", policy, ck.Cycle, at)
+			}
+		}
+	}
+}
+
+// TestCheckpointCrossConfigFork is the prefix-fork use case: a checkpoint
+// captured before any swap activity under one swap-latency configuration
+// seeds runs under different swap latencies, each bit-identical to its
+// own uninterrupted run.
+func TestCheckpointCrossConfigFork(t *testing.T) {
+	base := config.Small().WithPolicy(config.PolicyVT)
+	donorCfg := base
+	donorCfg.VT.SwapOutLatency = 8
+	donorCfg.VT.SwapInLatency = 8
+
+	l, opts := buildLaunch(t, "pathfinder")
+	var ck *Checkpoint
+	opts.Parallelism = 1
+	opts.CheckpointEvery = 16
+	opts.CheckpointGuard = func(cycle int64, vt core.Stats) bool {
+		return vt.SwapsOut == 0 && vt.SwapsIn == 0
+	}
+	opts.OnCheckpoint = func(c *Checkpoint) { ck = c }
+	if _, err := Run(l, donorCfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("guard blocked every capture (first swap before cycle 16?)")
+	}
+
+	for _, lat := range []int{0, 64, 256} {
+		cfg := base
+		cfg.VT.SwapOutLatency = lat
+		cfg.VT.SwapInLatency = lat
+		ref := runPlain(t, "pathfinder", cfg, Options{Parallelism: 1})
+		forked := resume(t, "pathfinder", ck, cfg, Options{Parallelism: 1})
+		if !reflect.DeepEqual(ref, forked) {
+			t.Fatalf("swap latency %d: fork from cross-config checkpoint (cycle %d) diverged: ref cycles=%d forked cycles=%d",
+				lat, ck.Cycle, ref.Cycles, forked.Cycles)
+		}
+	}
+}
+
+// TestCheckpointStaleSchedulerRef pins a capture-time bug: a GTO
+// scheduler's greedy pointer can outlive its warp's CTA — the CTA
+// completes and departs the SM while the pointer lingers (inert, since a
+// Finished warp never passes an issue check). Serializing that dangling
+// ref verbatim made restore fail with "warp ref not resident". The exact
+// combo that first hit it: bfs on GTX480 with MinResidencyCycles 3072,
+// donor swap latency 64, forked to 512 — by cycle ~2656 SM 12's greedy
+// still named a departed CTA. Capture must encode such refs as nil, and
+// the fork must stay bit-identical to the uninterrupted run.
+func TestCheckpointStaleSchedulerRef(t *testing.T) {
+	mk := func(lat int) config.GPUConfig {
+		cfg := config.GTX480().WithPolicy(config.PolicyVT)
+		cfg.VT.MinResidencyCycles = 3072
+		cfg.VT.SwapOutLatency = lat
+		cfg.VT.SwapInLatency = lat
+		return cfg
+	}
+	l, opts := buildLaunch(t, "bfs")
+	var ck *Checkpoint
+	opts.Parallelism = 1
+	opts.CheckpointEvery = 64
+	opts.CheckpointGuard = func(cycle int64, vt core.Stats) bool {
+		return vt.SwapsOut == 0 && vt.SwapsIn == 0
+	}
+	opts.OnCheckpoint = func(c *Checkpoint) { ck = c }
+	if _, err := Run(l, mk(64), opts); err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("guard blocked every capture")
+	}
+	ref := runPlain(t, "bfs", mk(512), Options{Parallelism: 1})
+	forked := resume(t, "bfs", ck, mk(512), Options{Parallelism: 1})
+	if !reflect.DeepEqual(ref, forked) {
+		t.Fatalf("fork across a departed-CTA scheduler ref diverged: ref cycles=%d forked cycles=%d",
+			ref.Cycles, forked.Cycles)
+	}
+}
+
+// TestCheckpointJSONRoundTrip proves a checkpoint survives serialization:
+// resuming from a decoded copy matches resuming from the original.
+func TestCheckpointJSONRoundTrip(t *testing.T) {
+	cfg := config.Small().WithPolicy(config.PolicyVT)
+	ref := runPlain(t, "bfs", cfg, Options{Parallelism: 1})
+	_, ck := runCapturing(t, "bfs", cfg, Options{Parallelism: 1}, ref.Cycles/2)
+	if ck == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	blob, err := json.Marshal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Checkpoint
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	forked := resume(t, "bfs", &decoded, cfg, Options{Parallelism: 1})
+	if !reflect.DeepEqual(ref, forked) {
+		t.Fatalf("fork from JSON-round-tripped checkpoint diverged")
+	}
+}
+
+// TestCheckpointReuse forks the same checkpoint twice; the second fork
+// must not see any state the first one mutated.
+func TestCheckpointReuse(t *testing.T) {
+	cfg := config.Small().WithPolicy(config.PolicyFullSwap)
+	ref := runPlain(t, "pathfinder", cfg, Options{Parallelism: 1})
+	_, ck := runCapturing(t, "pathfinder", cfg, Options{Parallelism: 1}, ref.Cycles/2)
+	if ck == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	first := resume(t, "pathfinder", ck, cfg, Options{Parallelism: 1})
+	second := resume(t, "pathfinder", ck, cfg, Options{Parallelism: 1})
+	if !reflect.DeepEqual(ref, first) || !reflect.DeepEqual(ref, second) {
+		t.Fatalf("checkpoint reuse diverged (first ok=%v, second ok=%v)",
+			reflect.DeepEqual(ref, first), reflect.DeepEqual(ref, second))
+	}
+}
+
+// TestResumeRejects covers the structural validation.
+func TestResumeRejects(t *testing.T) {
+	cfg := config.Small().WithPolicy(config.PolicyVT)
+	ref := runPlain(t, "bfs", cfg, Options{Parallelism: 1})
+	_, ck := runCapturing(t, "bfs", cfg, Options{Parallelism: 1}, ref.Cycles/2)
+	if ck == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	l, _ := buildLaunch(t, "bfs")
+
+	structural := cfg
+	structural.NumSMs++
+	if _, err := Resume(ck, []*isa.Launch{l}, structural, Options{}); err == nil {
+		t.Error("structural config change accepted")
+	}
+	if _, err := Resume(ck, []*isa.Launch{l}, cfg.WithPolicy(config.PolicyBaseline), Options{}); err == nil {
+		t.Error("policy change accepted")
+	}
+	bad := *ck
+	bad.Version = CheckpointVersion + 1
+	if _, err := Resume(&bad, []*isa.Launch{l}, cfg, Options{}); err == nil {
+		t.Error("future checkpoint version accepted")
+	}
+	if _, err := Resume(nil, []*isa.Launch{l}, cfg, Options{}); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+
+	// Swap latencies are the neutralized parameters: changing them must
+	// be accepted.
+	lat := cfg
+	lat.VT.SwapOutLatency = 999
+	if _, err := Resume(ck, []*isa.Launch{l}, lat, Options{}); err != nil {
+		t.Errorf("swap-latency change rejected: %v", err)
+	}
+}

@@ -205,6 +205,25 @@ type Options struct {
 	// makes cycle numbers jump, so hooks must fire on the first cycle at
 	// or past their target, never on equality.
 	FaultHook func(cycle int64, sms []*sm.SM)
+	// CheckpointAt, when positive, captures a checkpoint at the first
+	// simulated cycle at or past this value (idle-skip makes cycle
+	// numbers jump) and hands it to OnCheckpoint. One-shot unless
+	// CheckpointEvery is also set.
+	CheckpointAt int64
+	// CheckpointEvery, when positive, captures checkpoints periodically
+	// — at least this many cycles apart, with the gap widening as the
+	// run grows so capture cost stays a bounded fraction of simulation
+	// time — while CheckpointGuard (if any) holds. Each capture goes to
+	// OnCheckpoint; callers keep whichever they want.
+	CheckpointEvery int64
+	// CheckpointGuard, when non-nil, gates captures: once it returns
+	// false no further checkpoints are taken (the condition latches).
+	// Prefix-forked sweeps use it to stop capturing as soon as the run
+	// consumes a parameter that varies across the sweep.
+	CheckpointGuard func(cycle int64, vt core.Stats) bool
+	// OnCheckpoint receives captured checkpoints. Checkpointing is
+	// disabled when nil, whatever the other fields say.
+	OnCheckpoint func(*Checkpoint)
 }
 
 // queuePool recycles timing-wheel event queues across runs: the wheel's
@@ -225,6 +244,48 @@ func Run(l *isa.Launch, cfg config.GPUConfig, opts Options) (*Result, error) {
 // their CTAs round-robin onto SMs, and under the VT policies inactive
 // CTAs of different kernels share each SM's capacity.
 func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Result, error) {
+	m, err := newMachine(launches, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer m.release()
+	return m.run()
+}
+
+// machine is one fully assembled simulated GPU: the component graph plus
+// the run loop's bookkeeping. RunMulti builds one, runs it, and releases
+// it; Resume builds one, overlays a checkpoint, and runs the rest.
+type machine struct {
+	launches []*isa.Launch
+	cfg      config.GPUConfig
+	opts     Options
+	name     string
+
+	ev      *event.Queue
+	pooled  bool
+	backing *mem.Backing
+	msys    *mem.System
+	grid    *cta.MultiGrid
+	vt      *core.Controller // nil for non-VT policies
+	sms     []*sm.SM
+	eng     *engine
+	reg     *event.Registry // built lazily; only snapshots need it
+
+	maxCycles int64
+	cycle     int64
+
+	timeline        []Sample
+	nextSample      int64
+	lastIssuedTot   int64
+	lastSampleCycle int64
+
+	nextCk int64 // next checkpoint cycle; meaningful unless ckDone
+	ckDone bool  // no further checkpoints (disabled, one-shot taken, or guard latched)
+}
+
+// newMachine validates the inputs and assembles the component graph. The
+// caller must release() the machine (idempotent) when done.
+func newMachine(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -249,57 +310,53 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		}
 	}
 
-	var ev *event.Queue
+	m := &machine{launches: launches, cfg: cfg, opts: opts}
 	if opts.DisableEventWheel {
-		ev = event.NewHeapQueue()
+		m.ev = event.NewHeapQueue()
 	} else {
-		ev = queuePool.Get().(*event.Queue)
-		defer func() {
-			ev.Reset()
-			queuePool.Put(ev)
-		}()
+		m.ev = queuePool.Get().(*event.Queue)
+		m.pooled = true
 	}
-	backing := mem.NewBacking()
+	m.backing = mem.NewBacking()
 	if opts.InitMemory != nil {
-		opts.InitMemory(backing)
+		opts.InitMemory(m.backing)
 	}
-	msys := mem.NewSystem(&cfg, ev)
-	grid := cta.NewMultiGrid(launches, &cfg)
+	m.msys = mem.NewSystem(&m.cfg, m.ev)
+	m.grid = cta.NewMultiGrid(launches, &m.cfg)
 
 	var ctl sm.Controller
-	var vt *core.Controller
-	switch cfg.Policy {
+	switch m.cfg.Policy {
 	case config.PolicyVT, config.PolicyFullSwap:
-		vt = core.NewController(grid, cfg.NumSMs, cfg.Policy == config.PolicyFullSwap)
-		vt.Trace = opts.Trace
-		ctl = vt
+		m.vt = core.NewController(m.grid, m.cfg.NumSMs, m.cfg.Policy == config.PolicyFullSwap)
+		m.vt.Trace = opts.Trace
+		ctl = m.vt
 	default:
-		ctl = &baselineController{src: grid}
+		ctl = &baselineController{src: m.grid}
 	}
 
-	sms := make([]*sm.SM, cfg.NumSMs)
-	for i := range sms {
-		sms[i] = sm.New(i, &cfg, ev, msys, backing, len(launches), ctl)
-		sms[i].DisableFastPath = opts.DisableIssueFastPath
+	m.sms = make([]*sm.SM, m.cfg.NumSMs)
+	for i := range m.sms {
+		m.sms[i] = sm.New(i, &m.cfg, m.ev, m.msys, m.backing, len(launches), ctl)
+		m.sms[i].DisableFastPath = opts.DisableIssueFastPath
 	}
 
-	name := launches[0].Kernel.Name
+	m.name = launches[0].Kernel.Name
 	for _, l := range launches[1:] {
-		name += "+" + l.Kernel.Name
+		m.name += "+" + l.Kernel.Name
 	}
 
 	if col := opts.Telemetry; col != nil {
-		col.Begin(cfg.NumSMs, name, cfg.Policy.String())
+		col.Begin(m.cfg.NumSMs, m.name, m.cfg.Policy.String())
 		// Shard the L1 counters so per-SM hit rates exist even under the
 		// sequential engine; counters are additive and CollectStats folds
 		// them back, so run totals are unchanged.
-		msys.ShardStats()
-		for _, s := range sms {
+		m.msys.ShardStats()
+		for _, s := range m.sms {
 			s.Probe = col
 		}
-		if vt != nil {
-			user := vt.Trace
-			vt.Trace = func(e core.TraceEvent) {
+		if m.vt != nil {
+			user := m.vt.Trace
+			m.vt.Trace = func(e core.TraceEvent) {
 				col.VTTrace(e)
 				if user != nil {
 					user(e)
@@ -308,99 +365,161 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 		}
 	}
 
-	maxCycles := cfg.MaxCycles
-	if maxCycles <= 0 {
-		maxCycles = DefaultMaxCycles
+	m.maxCycles = m.cfg.MaxCycles
+	if m.maxCycles <= 0 {
+		m.maxCycles = DefaultMaxCycles
 	}
-
-	var timeline []Sample
-	var nextSample, lastIssuedTot, lastSampleCycle int64
 	if opts.SampleInterval > 0 {
-		nextSample = opts.SampleInterval
-	}
-	sample := func(cycle int64) {
-		aw, rw := 0, 0
-		var issuedTot int64
-		for _, s := range sms {
-			aw += s.WarpsUsed
-			issuedTot += s.Stats.Issued
-			for _, c := range s.Resident {
-				rw += len(c.Warps)
-			}
-		}
-		ipc := 0.0
-		if d := cycle - lastSampleCycle; d > 0 {
-			ipc = float64(issuedTot-lastIssuedTot) / float64(d)
-		}
-		lastIssuedTot, lastSampleCycle = issuedTot, cycle
-		timeline = append(timeline, Sample{
-			Cycle:         cycle,
-			ActiveWarps:   float64(aw) / float64(cfg.NumSMs),
-			ResidentWarps: float64(rw) / float64(cfg.NumSMs),
-			IPC:           ipc,
-		})
+		m.nextSample = opts.SampleInterval
 	}
 
-	eng := newEngine(sms, ev, msys, backing,
-		resolveWorkers(opts.Parallelism, cfg.NumSMs), !opts.DisableIdleSkip)
-	defer eng.shutdown()
-
-	// diagnose snapshots the whole machine for an abort error. Pure read:
-	// it runs only on the abort paths, never in a completing simulation.
-	diagnose := func(reason, violation string, cycle int64) *AbortDiagnostic {
-		d := &AbortDiagnostic{
-			Kernel:        launches[0].Kernel.Name,
-			Reason:        reason,
-			Violation:     violation,
-			Cycle:         cycle,
-			EventsPending: ev.Pending(),
-			GridRemaining: grid.Remaining(),
-		}
-		for _, s := range sms {
-			d.SMs = append(d.SMs, s.Diagnose())
-		}
-		if vt != nil {
-			d.VT = vt.Diagnose()
-		}
-		return d
+	switch {
+	case opts.OnCheckpoint == nil:
+		m.ckDone = true
+	case opts.CheckpointAt > 0:
+		m.nextCk = opts.CheckpointAt
+	case opts.CheckpointEvery > 0:
+		m.nextCk = opts.CheckpointEvery
+	default:
+		m.ckDone = true
 	}
 
+	m.eng = newEngine(m.sms, m.ev, m.msys, m.backing,
+		resolveWorkers(opts.Parallelism, m.cfg.NumSMs), !opts.DisableIdleSkip)
+	return m, nil
+}
+
+// release returns pooled resources; safe to call more than once.
+func (m *machine) release() {
+	if m.eng != nil {
+		m.eng.shutdown()
+		m.eng = nil
+	}
+	if m.pooled {
+		m.ev.Reset()
+		queuePool.Put(m.ev)
+		m.pooled = false
+	}
+}
+
+// sample records one occupancy-timeline point.
+func (m *machine) sample(cycle int64) {
+	aw, rw := 0, 0
+	var issuedTot int64
+	for _, s := range m.sms {
+		aw += s.WarpsUsed
+		issuedTot += s.Stats.Issued
+		for _, c := range s.Resident {
+			rw += len(c.Warps)
+		}
+	}
+	ipc := 0.0
+	if d := cycle - m.lastSampleCycle; d > 0 {
+		ipc = float64(issuedTot-m.lastIssuedTot) / float64(d)
+	}
+	m.lastIssuedTot, m.lastSampleCycle = issuedTot, cycle
+	m.timeline = append(m.timeline, Sample{
+		Cycle:         cycle,
+		ActiveWarps:   float64(aw) / float64(m.cfg.NumSMs),
+		ResidentWarps: float64(rw) / float64(m.cfg.NumSMs),
+		IPC:           ipc,
+	})
+}
+
+// diagnose snapshots the whole machine for an abort error. Pure read: it
+// runs only on the abort paths, never in a completing simulation.
+func (m *machine) diagnose(reason, violation string, cycle int64) *AbortDiagnostic {
+	d := &AbortDiagnostic{
+		Kernel:        m.launches[0].Kernel.Name,
+		Reason:        reason,
+		Violation:     violation,
+		Cycle:         cycle,
+		EventsPending: m.ev.Pending(),
+		GridRemaining: m.grid.Remaining(),
+	}
+	for _, s := range m.sms {
+		d.SMs = append(d.SMs, s.Diagnose())
+	}
+	if m.vt != nil {
+		d.VT = m.vt.Diagnose()
+	}
+	return d
+}
+
+// maybeCheckpoint runs the checkpoint cadence at the top of a cycle. The
+// machine is quiescent here: the event queue sits exactly at cycle, every
+// lane is committed, and no SM is mid-step.
+func (m *machine) maybeCheckpoint(cycle int64) error {
+	if m.opts.CheckpointGuard != nil {
+		var vs core.Stats
+		if m.vt != nil {
+			vs = m.vt.Stats
+		}
+		if !m.opts.CheckpointGuard(cycle, vs) {
+			m.ckDone = true // latched: later state depends on swept parameters
+			return nil
+		}
+	}
+	ck, err := m.capture()
+	if err != nil {
+		return fmt.Errorf("gpu: checkpoint at cycle %d: %w", cycle, err)
+	}
+	m.opts.OnCheckpoint(ck)
+	if m.opts.CheckpointEvery > 0 {
+		// Widen the gap as the run grows so the total capture cost stays a
+		// bounded fraction of simulation time.
+		gap := m.opts.CheckpointEvery
+		if adaptive := cycle >> 2; adaptive > gap {
+			gap = adaptive
+		}
+		m.nextCk = cycle + gap
+	} else {
+		m.ckDone = true
+	}
+	return nil
+}
+
+// run drives the simulation from m.cycle (zero, or the checkpoint cycle
+// after restore) to completion and assembles the result.
+func (m *machine) run() (*Result, error) {
+	opts := &m.opts
 	checkEvery := opts.InvariantInterval
 	if checkEvery <= 0 {
 		checkEvery = DefaultInvariantInterval
 	}
-	nextCheck := checkEvery
+	nextCheck := m.cycle + checkEvery
 	// The deadline poll amortizes the context read across a window of
 	// cycles; idle-skip can jump far past nextPoll, which only makes the
 	// poll sooner. The window is small relative to even heavily diluted
 	// runs (~1k simulated cycles) so deadlines are observed promptly.
 	const deadlinePollCycles = 512
-	var nextPoll int64
+	nextPoll := m.cycle
 
-	cycle := int64(0)
+	cycle := m.cycle
 	for {
+		m.cycle = cycle
 		if opts.FaultHook != nil {
-			opts.FaultHook(cycle, sms)
+			opts.FaultHook(cycle, m.sms)
 		}
 		if opts.Ctx != nil && cycle >= nextPoll {
 			if err := opts.Ctx.Err(); err != nil {
-				return nil, newAbortError(diagnose(ReasonDeadline, "", cycle),
+				return nil, newAbortError(m.diagnose(ReasonDeadline, "", cycle),
 					fmt.Sprintf("gpu: kernel %q aborted at cycle %d: %v",
-						launches[0].Kernel.Name, cycle, err), err)
+						m.launches[0].Kernel.Name, cycle, err), err)
 			}
 			nextPoll = cycle + deadlinePollCycles
 		}
 		if opts.CheckInvariants && cycle >= nextCheck {
-			if err := checkInvariants(sms); err != nil {
-				return nil, newAbortError(diagnose(ReasonInvariant, err.Error(), cycle),
+			if err := checkInvariants(m.sms); err != nil {
+				return nil, newAbortError(m.diagnose(ReasonInvariant, err.Error(), cycle),
 					fmt.Sprintf("gpu: kernel %q invariant violation at cycle %d: %v",
-						launches[0].Kernel.Name, cycle, err), err)
+						m.launches[0].Kernel.Name, cycle, err), err)
 			}
 			nextCheck = cycle + checkEvery
 		}
-		if grid.Remaining() == 0 {
+		if m.grid.Remaining() == 0 {
 			done := true
-			for _, s := range sms {
+			for _, s := range m.sms {
 				if !s.Idle() {
 					done = false
 					break
@@ -410,24 +529,29 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 				break
 			}
 		}
+		if !m.ckDone && cycle >= m.nextCk {
+			if err := m.maybeCheckpoint(cycle); err != nil {
+				return nil, err
+			}
+		}
 
-		issued := eng.cycle()
+		issued := m.eng.cycle()
 
 		next := cycle + 1
 		skipFrom := int64(-1)
-		if !issued && !opts.DisableIdleSkip && eng.quiescent() {
+		if !issued && !opts.DisableIdleSkip && m.eng.quiescent() {
 			// Fast-forward across stall periods: nothing inside any SM
 			// can change state until the next scheduled event — in the
 			// shared queue or any SM's local writeback wheel.
-			if evNext, ok := eng.nextEvent(); ok && evNext > next {
+			if evNext, ok := m.eng.nextEvent(); ok && evNext > next {
 				next = evNext
 				skipFrom = cycle + 1
 			} else if !ok {
 				// No events pending and nothing schedulable:
 				// the simulation cannot make progress.
-				return nil, newAbortError(diagnose(ReasonDeadlock, "", cycle),
+				return nil, newAbortError(m.diagnose(ReasonDeadlock, "", cycle),
 					fmt.Sprintf("gpu: kernel %q deadlocked at cycle %d",
-						launches[0].Kernel.Name, cycle), nil)
+						m.launches[0].Kernel.Name, cycle), nil)
 			}
 		}
 		if col := opts.Telemetry; col != nil {
@@ -435,11 +559,11 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 			// virtual statistics (sm.StatsAt charges the pending span
 			// into a copy) before the real charge lands below.
 			for col.NextBoundary() <= next {
-				col.Sample(sms, msys, vt, skipFrom)
+				col.Sample(m.sms, m.msys, m.vt, skipFrom)
 			}
 		}
 		if skipFrom >= 0 {
-			for _, s := range sms {
+			for _, s := range m.sms {
 				if s.Asleep() {
 					continue // charged at wake, from sleptFrom
 				}
@@ -447,57 +571,58 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 			}
 		}
 		if opts.SampleInterval > 0 {
-			for nextSample <= next {
-				sample(nextSample)
-				nextSample += opts.SampleInterval
+			for m.nextSample <= next {
+				m.sample(m.nextSample)
+				m.nextSample += opts.SampleInterval
 			}
 		}
 		cycle = next
-		ev.AdvanceTo(cycle)
-		if cycle > maxCycles {
-			return nil, newAbortError(diagnose(ReasonMaxCycles, "", cycle),
+		m.ev.AdvanceTo(cycle)
+		if cycle > m.maxCycles {
+			return nil, newAbortError(m.diagnose(ReasonMaxCycles, "", cycle),
 				fmt.Sprintf("gpu: kernel %q exceeded %d cycles",
-					launches[0].Kernel.Name, maxCycles), nil)
+					m.launches[0].Kernel.Name, m.maxCycles), nil)
 		}
 	}
+	m.cycle = cycle
 
 	// SMs still in per-SM fast-forward owe statistics for their final
 	// skipped span.
-	for _, s := range sms {
+	for _, s := range m.sms {
 		s.WakeUp()
 	}
 	if col := opts.Telemetry; col != nil {
 		// After the wake loop, so every fast-forward span has been
 		// charged and its sleep span recorded.
-		col.Finish(cycle, sms, msys, vt)
+		col.Finish(cycle, m.sms, m.msys, m.vt)
 	}
 	if opts.CheckInvariants {
 		// Final end-of-run check: every skipped span has been charged, so
 		// the conservation invariants must hold exactly here.
-		if err := checkInvariants(sms); err != nil {
-			return nil, newAbortError(diagnose(ReasonInvariant, err.Error(), cycle),
+		if err := checkInvariants(m.sms); err != nil {
+			return nil, newAbortError(m.diagnose(ReasonInvariant, err.Error(), cycle),
 				fmt.Sprintf("gpu: kernel %q invariant violation at cycle %d: %v",
-					launches[0].Kernel.Name, cycle, err), err)
+					m.launches[0].Kernel.Name, cycle, err), err)
 		}
 	}
 
 	res := &Result{
-		Kernel:     name,
-		Policy:     cfg.Policy,
+		Kernel:     m.name,
+		Policy:     m.cfg.Policy,
 		Cycles:     cycle,
-		Mem:        msys.CollectStats(),
-		NumSMs:     cfg.NumSMs,
-		Schedulers: cfg.NumSchedulers,
-		WarpSize:   cfg.WarpSize,
-		Occupancy:  cta.ComputeOccupancy(launches[0], &cfg),
+		Mem:        m.msys.CollectStats(),
+		NumSMs:     m.cfg.NumSMs,
+		Schedulers: m.cfg.NumSchedulers,
+		WarpSize:   m.cfg.WarpSize,
+		Occupancy:  cta.ComputeOccupancy(m.launches[0], &m.cfg),
 	}
-	for _, l := range launches {
+	for _, l := range m.launches {
 		res.PerKernel = append(res.PerKernel, PerKernel{
 			Name: l.Kernel.Name,
 			CTAs: l.GridDim.Size(),
 		})
 	}
-	for _, s := range sms {
+	for _, s := range m.sms {
 		agg := &res.SM
 		st := s.Stats
 		for k := range res.PerKernel {
@@ -529,16 +654,16 @@ func RunMulti(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*Resu
 	// Per-SM cycle accumulators are averaged over SM count so that
 	// "per SM" metrics read naturally.
 	res.SM.Cycles = cycle
-	res.SM.ActiveWarpAccum /= int64(cfg.NumSMs)
-	res.SM.ResidentWarpAccum /= int64(cfg.NumSMs)
-	res.SM.ActiveCTAAccum /= int64(cfg.NumSMs)
-	res.SM.ResidentCTAAccum /= int64(cfg.NumSMs)
-	res.Timeline = timeline
-	if vt != nil {
-		res.VT = vt.Stats
+	res.SM.ActiveWarpAccum /= int64(m.cfg.NumSMs)
+	res.SM.ResidentWarpAccum /= int64(m.cfg.NumSMs)
+	res.SM.ActiveCTAAccum /= int64(m.cfg.NumSMs)
+	res.SM.ResidentCTAAccum /= int64(m.cfg.NumSMs)
+	res.Timeline = m.timeline
+	if m.vt != nil {
+		res.VT = m.vt.Stats
 	}
 	if opts.KeepBacking != nil {
-		opts.KeepBacking(backing)
+		opts.KeepBacking(m.backing)
 	}
 	return res, nil
 }

@@ -1,0 +1,251 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+// Prefix-forked sweeps. Many sweep experiments run the same (kernel,
+// grid) under configs that differ only in a parameter the simulation
+// does not consume until deep into the run — the VT swap latencies, which
+// matter only once the first swap happens. Those jobs share a common
+// prefix: every cycle up to the first swap is bit-identical across the
+// sweep. With Params.Checkpoint set, runMany groups jobs by their
+// *prefix fingerprint* (the ordinary content fingerprint with the
+// divergeable parameters neutralized; see gpu.ForkNeutralizedConfig),
+// runs the first member of each group as the *donor* — a full simulation
+// that captures checkpoints while the no-swaps-yet guard holds — and
+// starts every other member from the donor's last checkpoint instead of
+// from cycle zero. Forked results are bit-identical to full runs (see
+// internal/gpu/checkpoint_test.go and harness fork tests), so the memo
+// and disk caches treat them exactly like ordinary results.
+//
+// Checkpoints persist in the disk cache (CacheDir) keyed by the prefix
+// fingerprint, so a re-invocation — including a -resume after a crash —
+// forks across processes without re-simulating the prefix.
+
+// defaultCheckpointEvery is the donor capture cadence when no explicit
+// fork cycle is requested. Small enough that even heavily diluted sweep
+// runs capture a prefix before the first swap; the gap widens
+// automatically as the run grows (see gpu.Options.CheckpointEvery).
+const defaultCheckpointEvery = 64
+
+// forkGuard is the capture guard for swap-latency sweeps: a checkpoint
+// is variant-independent only while no swap has consumed the latencies.
+// The zero core.Stats of non-VT policies keeps the guard open, which is
+// correct: baseline runs never consume the neutralized parameters.
+func forkGuard(cycle int64, vt core.Stats) bool {
+	return vt.SwapsOut == 0 && vt.SwapsIn == 0
+}
+
+// forkSpec threads checkpoint behavior through a supervised execution:
+// capture (donor) or resume (fork). Nil means an ordinary run.
+type forkSpec struct {
+	// Donor side: capture checkpoints during the run.
+	capture bool
+	at      int64 // explicit one-shot fork cycle; 0 means periodic
+	// captured is the last checkpoint the successful attempt produced.
+	captured *gpu.Checkpoint
+
+	// Fork side: resume from this checkpoint instead of cycle zero.
+	ck *gpu.Checkpoint
+	// forkedFrom labels the journal entry: "<prefix-key>@<cycle>".
+	forkedFrom string
+}
+
+// ckEntry coalesces one prefix group's checkpoint production: the first
+// job to arrive becomes the donor (or loads the checkpoint from disk);
+// the rest wait and fork.
+type ckEntry struct {
+	once    sync.Once
+	ck      *gpu.Checkpoint
+	donorFP string // full fingerprint of the donor job, "" if disk-loaded
+	res     *gpu.Result
+	err     error
+}
+
+var ckCache = map[string]*ckEntry{} // keyed by prefix fingerprint; memoMu
+
+func ckEntryFor(prefixFP string) *ckEntry {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	e, ok := ckCache[prefixFP]
+	if !ok {
+		e = &ckEntry{}
+		ckCache[prefixFP] = e
+	}
+	return e
+}
+
+// forkPlan annotates jobs that belong to a prefix group worth forking:
+// at least two members with distinct full fingerprints (identical jobs
+// already coalesce in the memo cache) sharing a neutralized fingerprint.
+func forkPlan(p Params, jobs []job) []job {
+	if !p.Checkpoint {
+		return jobs
+	}
+	prefixes := make([]string, len(jobs))
+	members := map[string]map[string]bool{} // prefixFP -> set of full FPs
+	for i, j := range jobs {
+		cfg := p.Config
+		if j.mutate != nil {
+			j.mutate(&cfg)
+		}
+		fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg)
+		if err != nil {
+			continue
+		}
+		ncfg := gpu.ForkNeutralizedConfig(cfg)
+		pfp, err := fingerprint(j.workload, p.Scale, p.Dilute, &ncfg)
+		if err != nil {
+			continue
+		}
+		prefixes[i] = pfp
+		if members[pfp] == nil {
+			members[pfp] = map[string]bool{}
+		}
+		members[pfp][fp] = true
+	}
+	out := make([]job, len(jobs))
+	copy(out, jobs)
+	for i := range out {
+		if pfp := prefixes[i]; pfp != "" && len(members[pfp]) >= 2 {
+			out[i].prefixFP = pfp
+		}
+	}
+	return out
+}
+
+// forkExecute runs one fork-eligible job: the group's first arrival
+// becomes the donor (full run, capturing), later arrivals resume from
+// the donor's checkpoint. Returns the result plus the prefix cycles the
+// job did NOT simulate (zero for the donor and for fallback full runs),
+// so the caller can keep SimCycles an honest count of simulated work.
+func forkExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result, error, int64) {
+	ce := ckEntryFor(j.prefixFP)
+	ce.once.Do(func() {
+		if p.CacheDir != "" {
+			if ck := diskLoadCheckpoint(p.CacheDir, j.prefixFP); ck != nil {
+				ce.ck = ck
+				return
+			}
+		}
+		spec := &forkSpec{capture: true, at: p.ForkCycle}
+		ce.res, ce.err = supervisedExecuteFork(p, j, cfg, fp, spec)
+		ce.donorFP = fp
+		ce.ck = spec.captured
+		if ce.ck != nil {
+			bumpMetric(func(m *RunMetrics) { m.CheckpointsCaptured++ })
+			if p.CacheDir != "" {
+				diskStoreCheckpoint(p.CacheDir, j.prefixFP, ce.ck)
+			}
+		}
+	})
+	if ce.donorFP == fp {
+		return ce.res, ce.err, 0
+	}
+	if ce.ck == nil {
+		// The donor produced no usable checkpoint (guard failed before the
+		// first capture, or the donor itself failed): fall back to a full
+		// simulation.
+		bumpMetric(func(m *RunMetrics) { m.CheckpointMisses++ })
+		res, err := supervisedExecuteFork(p, j, cfg, fp, nil)
+		return res, err, 0
+	}
+	bumpMetric(func(m *RunMetrics) {
+		m.CheckpointHits++
+		m.PrefixCyclesSaved += ce.ck.Cycle
+	})
+	spec := &forkSpec{
+		ck:         ce.ck,
+		forkedFrom: fmt.Sprintf("%s@%d", cacheKey(j.prefixFP)[:12], ce.ck.Cycle),
+	}
+	res, err := supervisedExecuteFork(p, j, cfg, fp, spec)
+	if err != nil {
+		return res, err, 0
+	}
+	return res, err, ce.ck.Cycle
+}
+
+// ckDiskEntry is the JSON envelope of one persisted checkpoint. Like
+// result entries, the full prefix fingerprint travels in the envelope so
+// mismatches are detected by content.
+type ckDiskEntry struct {
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"fingerprint"`
+	Checkpoint  *gpu.Checkpoint `json:"checkpoint"`
+}
+
+// ckDiskPath maps a prefix fingerprint to its checkpoint file.
+func ckDiskPath(dir, prefixFP string) string {
+	return filepath.Join(dir, "vtck-"+cacheKey(prefixFP)+".json")
+}
+
+// diskLoadCheckpoint returns the persisted checkpoint for the prefix
+// fingerprint, or nil. Unusable files (torn JSON, stale envelope or
+// checkpoint version, fingerprint mismatch) are quarantined exactly like
+// corrupt result entries, and the caller falls back to a full simulation.
+func diskLoadCheckpoint(dir, prefixFP string) *gpu.Checkpoint {
+	path := ckDiskPath(dir, prefixFP)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var e ckDiskEntry
+	if err := json.Unmarshal(b, &e); err != nil {
+		quarantine(path, fmt.Sprintf("corrupt checkpoint JSON: %v", err))
+		return nil
+	}
+	switch {
+	case e.Version != diskCacheVersion:
+		quarantine(path, fmt.Sprintf("stale version %d (want %d)", e.Version, diskCacheVersion))
+	case e.Fingerprint != prefixFP:
+		quarantine(path, "checkpoint fingerprint mismatch")
+	case e.Checkpoint == nil:
+		quarantine(path, "entry has no checkpoint")
+	case e.Checkpoint.Version != gpu.CheckpointVersion:
+		quarantine(path, fmt.Sprintf("stale checkpoint format %d (want %d)",
+			e.Checkpoint.Version, gpu.CheckpointVersion))
+	default:
+		return e.Checkpoint
+	}
+	return nil
+}
+
+// diskStoreCheckpoint persists a checkpoint for the prefix fingerprint.
+// Best-effort, temp-file + rename, like diskStore.
+func diskStoreCheckpoint(dir, prefixFP string, ck *gpu.Checkpoint) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	b, err := json.Marshal(ckDiskEntry{
+		Version:     diskCacheVersion,
+		Fingerprint: prefixFP,
+		Checkpoint:  ck,
+	})
+	if err != nil {
+		return
+	}
+	path := ckDiskPath(dir, prefixFP)
+	tmp, err := os.CreateTemp(dir, ".vtck-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if os.Rename(name, path) != nil {
+		os.Remove(name)
+	}
+}

@@ -1,0 +1,364 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+// swapLatJobs builds a small swap-latency sweep over one workload — the
+// canonical prefix-fork shape: every job shares the run prefix up to the
+// first swap.
+func swapLatJobs(workload string, lats []int) []job {
+	var jobs []job
+	for _, l := range lats {
+		l := l
+		jobs = append(jobs, job{
+			workload: workload,
+			variant:  fmt.Sprintf("lat%d", l),
+			mutate: func(c *config.GPUConfig) {
+				c.Policy = config.PolicyVT
+				c.VT.SwapOutLatency = l
+				c.VT.SwapInLatency = l
+			},
+		})
+	}
+	return jobs
+}
+
+func forkTestParams() Params {
+	return Params{Scale: 1, Config: config.Small(), Dilute: 40, Workers: 2}
+}
+
+// TestForkPlanGrouping pins what forkPlan marks: jobs that differ only in
+// the neutralized parameters share a prefix group; jobs that differ
+// structurally, or singleton groups, are left alone.
+func TestForkPlanGrouping(t *testing.T) {
+	p := forkTestParams()
+	p.Checkpoint = true
+	jobs := swapLatJobs("pathfinder", []int{0, 64, 256})
+	jobs = append(jobs, job{
+		workload: "pathfinder",
+		variant:  "bigger",
+		mutate: func(c *config.GPUConfig) {
+			c.Policy = config.PolicyVT
+			c.NumSMs++ // structural: its prefix differs
+		},
+	})
+	jobs = append(jobs, job{workload: "nw", variant: "solo"})
+
+	planned := forkPlan(p, jobs)
+	for i := 0; i < 3; i++ {
+		if planned[i].prefixFP == "" {
+			t.Errorf("sweep job %d not marked for forking", i)
+		}
+		if planned[i].prefixFP != planned[0].prefixFP {
+			t.Errorf("sweep job %d in a different prefix group", i)
+		}
+	}
+	if planned[3].prefixFP != "" {
+		t.Error("structurally different job joined the prefix group")
+	}
+	if planned[4].prefixFP != "" {
+		t.Error("singleton job marked for forking")
+	}
+
+	p.Checkpoint = false
+	for i, j := range forkPlan(p, jobs) {
+		if j.prefixFP != "" {
+			t.Errorf("job %d marked with Checkpoint disabled", i)
+		}
+	}
+}
+
+// TestPrefixForkEquivalence is the correctness bar: a prefix-forked sweep
+// returns results bit-identical to the same sweep run without forking,
+// while executing one donor and forking everyone else.
+func TestPrefixForkEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	defer ResetMetrics()
+	lats := []int{0, 8, 64, 256}
+	jobs := swapLatJobs("pathfinder", lats)
+
+	ResetMetrics()
+	plain, err := runMany(forkTestParams(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainM := Metrics()
+	if plainM.Executed != len(lats) {
+		t.Fatalf("plain sweep executed %d runs, want %d", plainM.Executed, len(lats))
+	}
+
+	ResetMetrics()
+	p := forkTestParams()
+	p.Checkpoint = true
+	forked, err := runMany(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics()
+	if m.CheckpointsCaptured != 1 {
+		t.Fatalf("captured %d checkpoints, want 1 donor: %+v", m.CheckpointsCaptured, m)
+	}
+	if m.CheckpointHits != len(lats)-1 || m.CheckpointMisses != 0 {
+		t.Fatalf("hits=%d misses=%d, want %d hits: %+v",
+			m.CheckpointHits, m.CheckpointMisses, len(lats)-1, m)
+	}
+	if m.PrefixCyclesSaved <= 0 {
+		t.Fatalf("no prefix cycles saved: %+v", m)
+	}
+	if m.SimCycles >= plainM.SimCycles {
+		t.Fatalf("forked sweep simulated %d cycles, plain %d: forking saved nothing",
+			m.SimCycles, plainM.SimCycles)
+	}
+
+	for k, ref := range plain {
+		got := forked[k]
+		if got == nil {
+			t.Fatalf("%v missing from forked sweep", k)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("%v: forked result diverged from plain run:\nplain:  cycles=%d vt=%+v\nforked: cycles=%d vt=%+v",
+				k, ref.Cycles, ref.VT, got.Cycles, got.VT)
+		}
+	}
+}
+
+// TestPrefixForkDiskCheckpoint covers the cross-process path: the donor
+// persists its checkpoint in the cache dir, and a later invocation (the
+// in-memory caches reset, the cached Results removed) forks every sweep
+// point from disk without re-simulating any prefix.
+func TestPrefixForkDiskCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	defer ResetMetrics()
+	lats := []int{0, 64, 256}
+	jobs := swapLatJobs("pathfinder", lats)
+	dir := t.TempDir()
+	p := forkTestParams()
+	p.Checkpoint = true
+	p.CacheDir = dir
+
+	ResetMetrics()
+	first, err := runMany(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cks, _ := filepath.Glob(filepath.Join(dir, "vtck-*.json"))
+	if len(cks) != 1 {
+		t.Fatalf("cache dir holds %d checkpoint files, want 1", len(cks))
+	}
+
+	// A fresh process that lost its result cache but kept the checkpoint:
+	// every point forks, nobody simulates the prefix again.
+	results, _ := filepath.Glob(filepath.Join(dir, "vtsim-*.json"))
+	for _, f := range results {
+		os.Remove(f)
+	}
+	ResetMetrics()
+	second, err := runMany(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics()
+	if m.CheckpointsCaptured != 0 {
+		t.Fatalf("re-captured a checkpoint despite the disk copy: %+v", m)
+	}
+	if m.CheckpointHits != len(lats) {
+		t.Fatalf("hits=%d, want all %d points to fork from disk: %+v", m.CheckpointHits, len(lats), m)
+	}
+	for k, ref := range first {
+		if !reflect.DeepEqual(ref, second[k]) {
+			t.Fatalf("%v: disk-forked result diverged", k)
+		}
+	}
+}
+
+// TestPrefixForkCheckpointQuarantine is the corruption regression: a
+// truncated checkpoint file must be quarantined (renamed *.corrupt) and
+// the sweep must fall back to full simulation with correct results.
+func TestPrefixForkCheckpointQuarantine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	defer ResetMetrics()
+	lats := []int{0, 256}
+	jobs := swapLatJobs("pathfinder", lats)
+	dir := t.TempDir()
+	p := forkTestParams()
+	p.Checkpoint = true
+	p.CacheDir = dir
+
+	ResetMetrics()
+	baseline, err := runMany(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cks, _ := filepath.Glob(filepath.Join(dir, "vtck-*.json"))
+	if len(cks) != 1 {
+		t.Fatalf("cache dir holds %d checkpoint files, want 1", len(cks))
+	}
+	// Truncate mid-write, and drop the cached Results so the sweep really
+	// re-executes.
+	body, err := os.ReadFile(cks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cks[0], body[:len(body)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, _ := filepath.Glob(filepath.Join(dir, "vtsim-*.json"))
+	for _, f := range results {
+		os.Remove(f)
+	}
+
+	ResetMetrics()
+	again, err := runMany(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if len(quarantined) != 1 || !strings.Contains(quarantined[0], "vtck-") {
+		t.Fatalf("truncated checkpoint not quarantined: %v", quarantined)
+	}
+	// The donor re-ran and re-captured; results stay bit-identical.
+	m := Metrics()
+	if m.CheckpointsCaptured != 1 {
+		t.Fatalf("donor did not re-capture after quarantine: %+v", m)
+	}
+	for k, ref := range baseline {
+		if !reflect.DeepEqual(ref, again[k]) {
+			t.Fatalf("%v: result diverged after checkpoint quarantine", k)
+		}
+	}
+	// And the re-capture wrote a healthy replacement.
+	cks, _ = filepath.Glob(filepath.Join(dir, "vtck-*.json"))
+	if len(cks) != 1 {
+		t.Fatalf("cache dir holds %d checkpoint files after re-capture, want 1", len(cks))
+	}
+}
+
+// TestPrefixForkAblationSpeedup is the acceptance bar for the prefix-fork
+// layer: a 12-point swap-latency ablation on a full-size workload must be
+// at least 1.5x faster end-to-end when prefix-forked, while every point's
+// Result stays bit-identical to the unforked sweep.
+func TestPrefixForkAblationSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	defer ResetMetrics()
+	lats := []int{0, 4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 512}
+	jobs := swapLatJobs("nw", lats)
+	// Workers=1 serializes the jobs so wall time measures simulated work,
+	// not scheduling luck.
+	p := Params{Scale: 1, Config: config.GTX480(), Dilute: 4, Workers: 1}
+	// Hold an elevated minimum residency constant across the sweep (it is
+	// a pre-swap scheduling parameter, so it must NOT diverge between
+	// points): it pushes the first swap — and with it the latest legal
+	// fork point — deep into the run, which is the regime prefix forking
+	// targets. 6144 keeps nw swapping (it stops above ~7168, which would
+	// make the latency ablation vacuous); the first swap then lands just
+	// past the residency floor, so pinning the capture at 6000 puts the
+	// fork right below the swap onset instead of wherever the periodic
+	// cadence last fired.
+	p.Config.VT.MinResidencyCycles = 6144
+	p.ForkCycle = 6000
+
+	ResetMetrics()
+	t0 := time.Now()
+	plain, err := runMany(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainWall := time.Since(t0)
+
+	ResetMetrics()
+	pf := p
+	pf.Checkpoint = true
+	t0 = time.Now()
+	forked, err := runMany(pf, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkWall := time.Since(t0)
+
+	swapping := 0
+	for k, ref := range plain {
+		got := forked[k]
+		if got == nil {
+			t.Fatalf("%v missing from forked sweep", k)
+		}
+		if got.Cycles != ref.Cycles {
+			t.Fatalf("%v: sim_cycles diverged: plain %d, forked %d", k, ref.Cycles, got.Cycles)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("%v: forked result not DeepEqual to plain run", k)
+		}
+		if ref.VT.SwapsOut > 0 {
+			swapping++
+		}
+	}
+	// The sweep must actually exercise the ablated parameter: if no point
+	// ever swaps, every suffix is identical and the speedup is vacuous.
+	if swapping == 0 {
+		t.Fatal("no point in the ablation performed any swaps; the latency sweep is vacuous")
+	}
+	m := Metrics()
+	speedup := float64(plainWall) / float64(forkWall)
+	t.Logf("plain %s, forked %s: %.2fx speedup (%d captured, %d forks, %d prefix cycles saved)",
+		plainWall.Round(time.Millisecond), forkWall.Round(time.Millisecond), speedup,
+		m.CheckpointsCaptured, m.CheckpointHits, m.PrefixCyclesSaved)
+	if m.CheckpointHits != len(lats)-1 {
+		t.Fatalf("only %d of %d points forked: %+v", m.CheckpointHits, len(lats)-1, m)
+	}
+	if speedup < 1.5 {
+		t.Fatalf("prefix forking sped the ablation up only %.2fx, want >= 1.5x", speedup)
+	}
+}
+
+// TestPrefixForkJournal verifies forked runs record which checkpoint they
+// resumed from.
+func TestPrefixForkJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	defer ResetMetrics()
+	dir := t.TempDir()
+	jl, err := OpenJournal(filepath.Join(dir, "journal.jsonl"),
+		JournalMeta{Scale: 1, Dilute: 40, Config: "small"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Close()
+
+	p := forkTestParams()
+	p.Checkpoint = true
+	p.Journal = jl
+	ResetMetrics()
+	if _, err := runMany(p, swapLatJobs("pathfinder", []int{0, 64, 256})); err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+
+	b, err := os.ReadFile(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := strings.Count(string(b), `"forked_from":"`)
+	if n != 2 {
+		t.Fatalf("journal records %d forked runs, want 2 (3 points, 1 donor):\n%s", n, b)
+	}
+	if !strings.Contains(string(b), "@") {
+		t.Fatalf("forked_from lacks the @cycle marker:\n%s", b)
+	}
+}

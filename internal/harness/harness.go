@@ -37,8 +37,22 @@ type Params struct {
 	// CacheDir, when non-empty, persists memoized run results on disk
 	// keyed by the same content fingerprint as the in-memory cache, so
 	// repeated invocations (profiling, bench re-runs, CI) skip
-	// already-simulated points. See diskcache.go.
+	// already-simulated points. See diskcache.go. With Checkpoint set it
+	// also persists prefix checkpoints, so forked sweeps resume across
+	// processes.
 	CacheDir string
+	// Checkpoint enables prefix-forked sweeps: jobs that differ only in
+	// parameters the simulation consumes late (the VT swap latencies)
+	// share their common prefix through a checkpoint instead of each
+	// re-simulating it. Results are bit-identical either way; see
+	// fork.go.
+	Checkpoint bool
+	// ForkCycle, when positive, pins the donor's capture to the first
+	// simulated cycle at or past this value instead of the adaptive
+	// periodic cadence. Zero (the default) lets the donor capture
+	// periodically while the fork guard holds and forks from the last
+	// guarded checkpoint.
+	ForkCycle int64
 
 	// Supervision (see supervisor.go).
 
@@ -184,6 +198,9 @@ type job struct {
 	workload string
 	variant  string // distinguishes sweep points; "" for plain runs
 	mutate   func(*config.GPUConfig)
+	// prefixFP, when non-empty, marks the job as part of a prefix-fork
+	// group (set by forkPlan; see fork.go).
+	prefixFP string
 }
 
 // key identifies a completed run.
@@ -201,6 +218,7 @@ type key struct {
 // Each run carries pprof labels so CPU profiles attribute samples to the
 // (workload, variant) that burned them.
 func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
+	jobs = forkPlan(p, jobs)
 	results := make(map[key]*gpu.Result, len(jobs))
 	var mu sync.Mutex
 	errs := make([]error, len(jobs))

@@ -50,7 +50,10 @@ type JournalEntry struct {
 	Attempts int    `json:"attempts"`
 	Cycles   int64  `json:"cycles,omitempty"`
 	Error    string `json:"error,omitempty"`
-	Time     string `json:"time"`
+	// ForkedFrom, for prefix-forked runs, names the checkpoint the run
+	// resumed from as "<prefix-cache-key[:12]>@<cycle>" (see fork.go).
+	ForkedFrom string `json:"forked_from,omitempty"`
+	Time       string `json:"time"`
 }
 
 // journalHeader is the first line of the file.

@@ -64,6 +64,21 @@ type RunMetrics struct {
 	// set (cache hits record none).
 	TelemetryWindows int64
 	TelemetrySpans   int64
+
+	// Prefix-fork counters (Params.Checkpoint; see fork.go).
+
+	// CheckpointsCaptured counts donor runs that produced a usable prefix
+	// checkpoint; CheckpointHits counts jobs that started from one (in
+	// memory or from the disk cache) instead of cycle zero;
+	// CheckpointMisses counts fork-eligible jobs that found no usable
+	// checkpoint and ran in full.
+	CheckpointsCaptured int
+	CheckpointHits      int
+	CheckpointMisses    int
+	// PrefixCyclesSaved totals the already-simulated prefix cycles forked
+	// runs skipped. SimCycles counts only cycles actually simulated, so
+	// forked runs add their suffix alone.
+	PrefixCyclesSaved int64
 }
 
 type memoEntry struct {
@@ -87,12 +102,14 @@ func Metrics() RunMetrics {
 	return m
 }
 
-// ResetMetrics zeroes the work counters and empties the memo cache.
+// ResetMetrics zeroes the work counters and empties the memo and
+// checkpoint caches.
 func ResetMetrics() {
 	memoMu.Lock()
 	defer memoMu.Unlock()
 	memoStats = RunMetrics{}
 	memoCache = map[string]*memoEntry{}
+	ckCache = map[string]*ckEntry{}
 }
 
 // fingerprint identifies a simulation point. kernels.Build is
@@ -144,11 +161,19 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 				return
 			}
 		}
-		e.res, e.err = supervisedExecute(p, j, cfg, fp)
+		var prefix int64
+		if j.prefixFP != "" && !injected {
+			e.res, e.err, prefix = forkExecute(p, j, cfg, fp)
+		} else {
+			e.res, e.err = supervisedExecute(p, j, cfg, fp)
+		}
 		memoMu.Lock()
 		memoStats.Executed++
 		if e.err == nil {
-			memoStats.SimCycles += e.res.Cycles
+			// Forked runs simulated only their suffix; the prefix cycles
+			// come from the shared checkpoint and are counted in
+			// PrefixCyclesSaved instead.
+			memoStats.SimCycles += e.res.Cycles - prefix
 		}
 		memoMu.Unlock()
 		if p.CacheDir != "" && e.err == nil && !injected {

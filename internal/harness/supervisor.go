@@ -77,12 +77,17 @@ type attempt struct {
 	err      error
 	panicked bool
 	stack    string
+	// ck is the last prefix checkpoint the attempt captured (donor runs
+	// under a capture spec only; see fork.go).
+	ck *gpu.Checkpoint
 }
 
 // runAttempt performs one simulation attempt under panic recovery. The
 // workload is rebuilt from scratch each attempt: a panicked run may have
-// left its launch state half-mutated.
-func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool) (a attempt) {
+// left its launch state half-mutated. A non-nil spec makes the attempt a
+// checkpoint donor (capture while the fork guard holds) or a fork (resume
+// from spec.ck instead of cycle zero).
+func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool, spec *forkSpec) (a attempt) {
 	defer func() {
 		if r := recover(); r != nil {
 			a.res = nil
@@ -132,7 +137,23 @@ func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool) (a attempt
 		col = telemetry.NewCollector(telemetry.Config{})
 		opts.Telemetry = col
 	}
-	a.res, a.err = gpu.Run(w.Launch, cfg, opts)
+	if spec != nil && spec.capture {
+		if spec.at > 0 {
+			opts.CheckpointAt = spec.at
+		} else {
+			opts.CheckpointEvery = defaultCheckpointEvery
+		}
+		// The guard applies to pinned captures too: a checkpoint taken
+		// after the first swap depends on the donor's swap latencies and
+		// must never seed other configs.
+		opts.CheckpointGuard = forkGuard
+		opts.OnCheckpoint = func(c *gpu.Checkpoint) { a.ck = c }
+	}
+	if spec != nil && spec.ck != nil {
+		a.res, a.err = gpu.Resume(spec.ck, []*isa.Launch{w.Launch}, cfg, opts)
+	} else {
+		a.res, a.err = gpu.Run(w.Launch, cfg, opts)
+	}
 	if col != nil && a.err == nil {
 		windows, spans := col.Totals()
 		bumpMetric(func(m *RunMetrics) {
@@ -180,14 +201,29 @@ func countFirstFailure(a attempt) {
 // ladder, journaling, and repro-bundle emission. fp may be empty when the
 // config was unfingerprintable (journaling is skipped then).
 func supervisedExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result, error) {
+	return supervisedExecuteFork(p, j, cfg, fp, nil)
+}
+
+// supervisedExecuteFork is supervisedExecute with an optional fork spec:
+// capture checkpoints (donor) or resume from one (fork). spec.captured is
+// set only from the attempt whose result is returned, so a checkpoint
+// from a failed or superseded attempt never seeds forks.
+func supervisedExecuteFork(p Params, j job, cfg config.GPUConfig, fp string, spec *forkSpec) (*gpu.Result, error) {
 	if p.Resume && p.Journal != nil && fp != "" &&
 		p.Journal.Status(cacheKey(fp)) == "failed" {
 		bumpMetric(func(m *RunMetrics) { m.ResumedFailed++ })
 	}
+	forkedFrom := ""
+	if spec != nil {
+		forkedFrom = spec.forkedFrom
+	}
 
-	first := runAttempt(p, j, cfg, false)
+	first := runAttempt(p, j, cfg, false, spec)
 	if first.err == nil {
-		p.journalRecord(j, fp, "ok", 1, first.res, nil)
+		if spec != nil {
+			spec.captured = first.ck
+		}
+		p.journalRecord(j, fp, "ok", 1, first.res, nil, forkedFrom)
 		return first.res, nil
 	}
 	countFirstFailure(first)
@@ -198,14 +234,17 @@ func supervisedExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.R
 	if retryable(first) {
 		bumpMetric(func(m *RunMetrics) { m.Retries++ })
 		retried = true
-		second = runAttempt(p, j, cfg, true)
+		second = runAttempt(p, j, cfg, true, spec)
 		attempts = 2
 		if second.err == nil {
 			// The safe path succeeded where the fast path / parallel
 			// engine failed: record the downgrade and keep the sweep
 			// moving with the safe result.
 			bumpMetric(func(m *RunMetrics) { m.Degraded++ })
-			p.journalRecord(j, fp, "degraded", attempts, second.res, nil)
+			if spec != nil {
+				spec.captured = second.ck
+			}
+			p.journalRecord(j, fp, "degraded", attempts, second.res, nil, forkedFrom)
 			return second.res, nil
 		}
 	}
@@ -237,22 +276,23 @@ func supervisedExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.R
 	}
 	writeBundle(p.FailDir, f)
 	bumpMetric(func(m *RunMetrics) { m.Failures++ })
-	p.journalRecord(j, fp, "failed", attempts, nil, first.err)
+	p.journalRecord(j, fp, "failed", attempts, nil, first.err, forkedFrom)
 	return nil, &FailedRunError{Failure: f}
 }
 
 // journalRecord appends the run's outcome to the completion journal, when
 // one is attached and the run was fingerprintable.
-func (p Params) journalRecord(j job, fp, status string, attempts int, res *gpu.Result, err error) {
+func (p Params) journalRecord(j job, fp, status string, attempts int, res *gpu.Result, err error, forkedFrom string) {
 	if p.Journal == nil || fp == "" {
 		return
 	}
 	e := JournalEntry{
-		FP:       cacheKey(fp),
-		Workload: j.workload,
-		Variant:  j.variant,
-		Status:   status,
-		Attempts: attempts,
+		FP:         cacheKey(fp),
+		Workload:   j.workload,
+		Variant:    j.variant,
+		Status:     status,
+		Attempts:   attempts,
+		ForkedFrom: forkedFrom,
 	}
 	if res != nil {
 		e.Cycles = res.Cycles

@@ -188,6 +188,19 @@ func (s *Stack) Restore(snap Stack) {
 // mask. Used to account VT hardware cost.
 func (s *Stack) FootprintBytes() int { return 12*len(s.entries) + 8 }
 
+// Entries returns a copy of the stack entries, bottom first. Together
+// with Exited it is the stack's complete serializable state.
+func (s *Stack) Entries() []Entry {
+	return append([]Entry(nil), s.entries...)
+}
+
+// SetState replaces the stack contents from serialized state (the inverse
+// of Entries/Exited). The entries slice is copied.
+func (s *Stack) SetState(entries []Entry, exited Mask) {
+	s.entries = append(s.entries[:0], entries...)
+	s.exited = exited
+}
+
 // String renders the stack for debugging, top entry last.
 func (s *Stack) String() string {
 	out := "["

@@ -89,6 +89,13 @@ func (sb *Scoreboard) Busy() bool { return sb.pend.Any() }
 // provided for symmetry with the SIMT stack).
 func (sb *Scoreboard) Snapshot() Scoreboard { return *sb }
 
+// Masks returns the pending and load register masks — the scoreboard's
+// complete serializable state.
+func (sb *Scoreboard) Masks() (pend, load RegMask) { return sb.pend, sb.load }
+
+// SetMasks replaces the scoreboard state (the inverse of Masks).
+func (sb *Scoreboard) SetMasks(pend, load RegMask) { sb.pend, sb.load = pend, load }
+
 // CTAState is the lifecycle state of a CTA on an SM. The inactive states
 // exist only under the Virtual Thread policies.
 type CTAState int
