@@ -37,6 +37,7 @@ import (
 
 	vtsim "repro"
 	"repro/internal/faultinject"
+	"repro/internal/gpu"
 	"repro/internal/harness"
 	"repro/internal/stats"
 )
@@ -62,7 +63,12 @@ type expReport struct {
 // — forked runs add their post-fork suffix alone (the skipped prefix is
 // reported in prefix_cycles_saved) — so simcycles_per_sec is not
 // comparable to a v2 baseline produced without forking.
-const benchReportSchemaVersion = 3
+//
+// v4: with -sample, sim_cycles includes extrapolated cycles (the portion
+// is reported in extrapolated_cycles) and every per-run cycle count
+// carries the error bound reported in max_error_bound — so neither
+// sim_cycles nor simcycles_per_sec is comparable to an exact baseline.
+const benchReportSchemaVersion = 4
 
 // benchReport is the top-level -json document.
 type benchReport struct {
@@ -92,6 +98,17 @@ type benchReport struct {
 	CheckpointHits      int   `json:"checkpoint_hits,omitempty"`
 	CheckpointMisses    int   `json:"checkpoint_misses,omitempty"`
 	PrefixCyclesSaved   int64 `json:"prefix_cycles_saved,omitempty"`
+	// Sampled-simulation counters (-sample sweeps only). Sampling is the
+	// "detailed:fastforward:warmup" configuration; extrapolated_cycles is
+	// the portion of sim_cycles that was extrapolated rather than
+	// simulated; max_error_bound is the largest per-run reported bound on
+	// the fractional cycle error.
+	Sampling           string  `json:"sampling,omitempty"`
+	SampledRuns        int     `json:"sampled_runs,omitempty"`
+	SampledSpans       int64   `json:"sampled_spans,omitempty"`
+	ExtrapolatedCycles int64   `json:"extrapolated_cycles,omitempty"`
+	FunctionalInstrs   int64   `json:"functional_instrs,omitempty"`
+	MaxErrorBound      float64 `json:"max_error_bound,omitempty"`
 
 	Experiments []expReport `json:"experiments"`
 }
@@ -117,6 +134,7 @@ func realMain() int {
 		resume     = flag.Bool("resume", false, "resume an interrupted or partially failed sweep from the -cachedir journal")
 		telemetry  = flag.Bool("telemetry", false, "attach a telemetry collector to every executed run (window/span totals land in -json)")
 		checkpoint = flag.Bool("checkpoint", false, "prefix-fork sweep points that differ only in late-consumed parameters (bit-identical results, shared prefix simulated once)")
+		sample     = flag.String("sample", "", "interval/sampled simulation as detailed:fastforward[:warmup] cycles; cycle counts become extrapolations within a reported error bound")
 		forkCycle  = flag.Int64("forkcycle", 0, "with -checkpoint, pin the donor's capture to the first cycle >= N (0 = adaptive periodic capture)")
 		monitor    = flag.String("monitor", "", "serve live sweep progress (HTML + /status JSON) on this address, e.g. :8080")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -173,6 +191,24 @@ func realMain() int {
 	p.Checkpoint = *checkpoint
 	p.ForkCycle = *forkCycle
 
+	if *sample != "" {
+		so, err := gpu.ParseSampling(*sample)
+		if err != nil {
+			return fatalf("%v", err)
+		}
+		if so.Enabled() {
+			// Sampling extrapolates cycle counts; checkpoint forking and the
+			// invariant checker both assume exact cycle-accurate execution.
+			if *checkpoint {
+				return fatalf("-sample is incompatible with -checkpoint: forked prefixes must be bit-identical, sampled runs are extrapolations")
+			}
+			if *checkInv {
+				return fatalf("-sample is incompatible with -checkinvariants: the checker audits per-cycle conservation, which fast-forward spans skip")
+			}
+		}
+		p.Sampling = so
+	}
+
 	if *monitor != "" {
 		ln, err := net.Listen("tcp", *monitor)
 		if err != nil {
@@ -194,7 +230,7 @@ func realMain() int {
 		return fatalf("-resume needs -cachedir: the journal and the cached results live there")
 	}
 	if *cacheDir != "" {
-		meta := harness.JournalMeta{Scale: *scale, Dilute: *dilute, Config: p.Config.Name}
+		meta := harness.JournalMeta{Scale: *scale, Dilute: *dilute, Config: p.Config.Name, Sampling: p.Sampling.String()}
 		jl, err := harness.OpenJournal(filepath.Join(*cacheDir, "journal.jsonl"), meta, *resume)
 		if err != nil {
 			return fatalf("%v", err)
@@ -280,6 +316,12 @@ func realMain() int {
 	report.CheckpointHits = m.CheckpointHits
 	report.CheckpointMisses = m.CheckpointMisses
 	report.PrefixCyclesSaved = m.PrefixCyclesSaved
+	report.Sampling = p.Sampling.String()
+	report.SampledRuns = m.SampledRuns
+	report.SampledSpans = m.SampledSpans
+	report.ExtrapolatedCycles = m.ExtrapolatedCycles
+	report.FunctionalInstrs = m.FunctionalInstrs
+	report.MaxErrorBound = m.MaxErrorBound
 	if report.TotalWallSec > 0 {
 		report.SimCyclesPerSec = float64(m.SimCycles) / report.TotalWallSec
 	}
@@ -287,6 +329,10 @@ func realMain() int {
 	if *checkpoint && (m.CheckpointHits > 0 || m.CheckpointMisses > 0 || m.CheckpointsCaptured > 0) {
 		fmt.Fprintf(w, "checkpoints: %d captured, %d forks, %d misses, %d prefix cycles saved\n",
 			m.CheckpointsCaptured, m.CheckpointHits, m.CheckpointMisses, m.PrefixCyclesSaved)
+	}
+	if p.Sampling.Enabled() && m.SampledRuns > 0 {
+		fmt.Fprintf(w, "sampling %s: %d sampled runs, %d spans, %d extrapolated cycles, %d functional instrs, max error bound %.2f%%\n",
+			p.Sampling, m.SampledRuns, m.SampledSpans, m.ExtrapolatedCycles, m.FunctionalInstrs, 100*m.MaxErrorBound)
 	}
 	if m.Retries > 0 || m.Failures > 0 {
 		fmt.Fprintf(w, "supervisor: %d safe-mode retries, %d degraded, %d failed runs\n",

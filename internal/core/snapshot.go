@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sm"
+	"repro/internal/warp"
 )
 
 // Snapshot support for the VT controller. Pending evRestoreDone events
@@ -90,6 +91,15 @@ func (v *Controller) SetState(cs *ControllerState, sms []*sm.SM) error {
 			st.restores = append(st.restores, c)
 		}
 		st.restoreFree = append(st.restoreFree[:0:0], ss.RestoreFree...)
+		// Re-derive each inactive CTA's recorded context-buffer charge. In
+		// detailed mode a swapped-out CTA's footprint never changes, so the
+		// charge always equals the current footprint (sampled runs, where
+		// the two can diverge, cannot be checkpointed).
+		for _, c := range sms[i].Resident {
+			if c.State == warp.CTAInactiveWaiting || c.State == warp.CTAInactiveReady {
+				c.CtxCharged = ctxBytesPerCTA(c)
+			}
+		}
 	}
 	return nil
 }

@@ -272,7 +272,8 @@ func (v *Controller) activateCTA(s *sm.SM, c *warp.CTA, st *smState) {
 		// its context-buffer space.
 		lat := v.swapLatency(s, c, false)
 		st.ports[st.freePort(s.Ev.Now())] = s.Ev.Now() + lat
-		st.ctxBytesUsed -= ctxBytesPerCTA(c)
+		st.ctxBytesUsed -= c.CtxCharged
+		c.CtxCharged = 0
 		v.Stats.SwapsIn++
 		v.Stats.SwapStallCycles += lat
 		// Occupy the slots now; warps become schedulable when the
@@ -356,7 +357,8 @@ func (v *Controller) swapOut(s *sm.SM) {
 		lat := v.swapLatency(s, c, true)
 		from := c.State
 		s.Deactivate(c)
-		st.ctxBytesUsed += ctxBytesPerCTA(c)
+		c.CtxCharged = ctxBytesPerCTA(c)
+		st.ctxBytesUsed += c.CtxCharged
 		if st.ctxBytesUsed > v.Stats.ContextPeak {
 			v.Stats.ContextPeak = st.ctxBytesUsed
 		}
@@ -373,6 +375,50 @@ func (v *Controller) swapOut(s *sm.SM) {
 	if minElig > 0 && st.wakeAt != minElig {
 		st.wakeAt = minElig
 		s.Ev.Post(minElig, v, evMinElig, uint32(s.ID), 0) // wake the idle-skip engine
+	}
+}
+
+// FunctionalAdmit implements sm.FunctionalAdmitter for fast-forward
+// spans: admit resident CTAs normally, then activate every ready CTA the
+// scheduling limit allows with a zero-latency swap-in — no context-buffer
+// port, no restore event. During a span memory completes instantly, so
+// warps are never load-blocked and swap-outs never trigger; the
+// steady-state behavior a span models is "a slot frees, the next ready
+// CTA takes it", which is exactly this loop. Registers and shared memory
+// of inactive CTAs are resident under VT (and never modeled as moving
+// under FullSwap), so instant activation is architecturally exact.
+func (v *Controller) FunctionalAdmit(s *sm.SM) {
+	if v.perSM[s.ID].sm == nil {
+		v.perSM[s.ID].sm = s
+	}
+	st := &v.perSM[s.ID]
+	v.admit(s)
+	for {
+		c := v.pickReady(s)
+		if c == nil || !s.CanActivateCTA(c) {
+			return
+		}
+		from := c.State
+		if from == warp.CTAInactiveReady {
+			st.ctxBytesUsed -= c.CtxCharged
+			c.CtxCharged = 0
+			v.Stats.SwapsIn++
+		} else {
+			v.Stats.FreshActivates++
+		}
+		s.Activate(c)
+		v.trace(s, c, from, warp.CTAActive, 0)
+	}
+}
+
+// FunctionalCTARetired releases the context-buffer claim of a CTA that
+// completed during a fast-forward span while swapped out. In detailed
+// mode a CTA can only finish while active (its warps must issue), so the
+// ordinary retire path never needs this.
+func (v *Controller) FunctionalCTARetired(s *sm.SM, c *warp.CTA) {
+	if c.CtxCharged > 0 {
+		v.perSM[s.ID].ctxBytesUsed -= c.CtxCharged
+		c.CtxCharged = 0
 	}
 }
 

@@ -57,6 +57,11 @@ type Result struct {
 
 	// Timeline holds occupancy samples when Options.SampleInterval > 0.
 	Timeline []Sample
+
+	// Sampling reports the sampled-simulation accounting and error bound;
+	// nil for fully detailed runs (the default), so exact results are
+	// byte-identical to builds predating the sampling engine.
+	Sampling *SamplingStats `json:",omitempty"`
 }
 
 // IPC returns total warp instructions per cycle across the GPU.
@@ -134,6 +139,14 @@ func (b *baselineController) Cycle(s *sm.SM) {
 
 func (b *baselineController) CTARetired(s *sm.SM, c *warp.CTA)   {}
 func (b *baselineController) LoadsDrained(s *sm.SM, c *warp.CTA) {}
+
+// FunctionalAdmit implements sm.FunctionalAdmitter: baseline admission is
+// already zero-latency and event-free, so fast-forward spans refill slots
+// through the ordinary dispatch loop. Baseline CTAs are always active, so
+// the swapped-out retire hook has nothing to release.
+func (b *baselineController) FunctionalAdmit(s *sm.SM) { b.Cycle(s) }
+
+func (b *baselineController) FunctionalCTARetired(s *sm.SM, c *warp.CTA) {}
 
 // Options customize a simulation run.
 type Options struct {
@@ -224,6 +237,13 @@ type Options struct {
 	// OnCheckpoint receives captured checkpoints. Checkpointing is
 	// disabled when nil, whatever the other fields say.
 	OnCheckpoint func(*Checkpoint)
+	// Sampling enables interval/sampled simulation: detailed windows
+	// alternating with functional fast-forward spans whose clock advance
+	// is extrapolated from the measured IPC (see sampling.go and
+	// docs/ARCHITECTURE.md, "Sampled simulation & error model"). The zero
+	// value runs fully detailed. Incompatible with CheckInvariants and
+	// with checkpoint capture; validated at engine build.
+	Sampling SamplingOptions
 }
 
 // queuePool recycles timing-wheel event queues across runs: the wheel's
@@ -281,6 +301,8 @@ type machine struct {
 
 	nextCk int64 // next checkpoint cycle; meaningful unless ckDone
 	ckDone bool  // no further checkpoints (disabled, one-shot taken, or guard latched)
+
+	samp *samplingState // nil unless Options.Sampling enabled
 }
 
 // newMachine validates the inputs and assembles the component graph. The
@@ -289,8 +311,8 @@ func newMachine(launches []*isa.Launch, cfg config.GPUConfig, opts Options) (*ma
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Parallelism < 0 {
-		return nil, fmt.Errorf("gpu: Options.Parallelism must be non-negative (got %d)", opts.Parallelism)
+	if err := validateOptions(&opts); err != nil {
+		return nil, err
 	}
 	if len(launches) == 0 {
 		return nil, fmt.Errorf("gpu: no launches")
@@ -494,6 +516,7 @@ func (m *machine) run() (*Result, error) {
 	// runs (~1k simulated cycles) so deadlines are observed promptly.
 	const deadlinePollCycles = 512
 	nextPoll := m.cycle
+	m.initSampling()
 
 	cycle := m.cycle
 	for {
@@ -532,6 +555,18 @@ func (m *machine) run() (*Result, error) {
 		if !m.ckDone && cycle >= m.nextCk {
 			if err := m.maybeCheckpoint(cycle); err != nil {
 				return nil, err
+			}
+		}
+		if m.samp != nil {
+			next, spanned, err := m.sampleHook(cycle)
+			if err != nil {
+				return nil, err
+			}
+			if spanned {
+				// The span advanced the clock and replayed the loop-bottom
+				// bookkeeping; re-enter the loop at the new cycle.
+				cycle = next
+				continue
 			}
 		}
 
@@ -659,6 +694,9 @@ func (m *machine) run() (*Result, error) {
 	res.SM.ActiveCTAAccum /= int64(m.cfg.NumSMs)
 	res.SM.ResidentCTAAccum /= int64(m.cfg.NumSMs)
 	res.Timeline = m.timeline
+	if m.samp != nil {
+		res.Sampling = m.samp.finish(cycle)
+	}
 	if m.vt != nil {
 		res.VT = m.vt.Stats
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package gpu
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under -race, where instrumentation overhead
+// does not scale uniformly across simulation paths.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package gpu
+
+const raceEnabled = true

@@ -14,8 +14,9 @@ import (
 // TestTelemetryPureObserver proves an attached collector never perturbs
 // the simulation: for every policy × scheduler, the complete Result is
 // bit-identical with and without telemetry — including under the
-// parallel engine and with the issue fast path disabled (the collector's
-// StatsAt/Probe seams ride both code paths).
+// parallel engine, with the issue fast path disabled (the collector's
+// StatsAt/Probe seams ride both code paths), and under interval/sampled
+// simulation (the afterSpan window pump rides the span path).
 func TestTelemetryPureObserver(t *testing.T) {
 	policies := []config.Policy{
 		config.PolicyBaseline, config.PolicyVT,
@@ -24,6 +25,7 @@ func TestTelemetryPureObserver(t *testing.T) {
 	schedulers := []config.SchedulerKind{
 		config.SchedGTO, config.SchedLRR, config.SchedTwoLevel,
 	}
+	samp := SamplingOptions{DetailedCycles: 200, FastForwardCycles: 1500, WarmupCycles: 50}
 	variants := []struct {
 		name string
 		opts Options
@@ -31,7 +33,10 @@ func TestTelemetryPureObserver(t *testing.T) {
 		{"default", Options{}},
 		{"parallel", Options{Parallelism: 4}},
 		{"slowpath", Options{DisableIssueFastPath: true}},
+		{"sampled", Options{Sampling: samp}},
+		{"sampled-parallel", Options{Parallelism: 4, Sampling: samp}},
 	}
+	var sampledSpans int64
 	for _, p := range policies {
 		for _, sched := range schedulers {
 			for _, v := range variants {
@@ -58,9 +63,21 @@ func TestTelemetryPureObserver(t *testing.T) {
 					if w, _ := col.Totals(); w == 0 {
 						t.Fatal("collector recorded no windows")
 					}
+					if v.opts.Sampling.Enabled() {
+						if observed.Sampling == nil {
+							t.Fatal("sampled run reported no sampling stats")
+						}
+						sampledSpans += observed.Sampling.Spans
+					}
 				})
 			}
 		}
+	}
+	// The sampled variants must not all degenerate to fully detailed runs
+	// (every span abandoned), or the purity check above proved nothing
+	// about the span path.
+	if sampledSpans == 0 {
+		t.Error("no fast-forward spans ran across any sampled combination; purity check is vacuous")
 	}
 }
 
@@ -124,10 +141,20 @@ func TestTelemetryPureObserverSwaps(t *testing.T) {
 
 // TestTelemetryWindowExactness pins the ring semantics: windows tile the
 // run exactly (contiguous, covering [0, Cycles)) and their deltas sum to
-// the run totals — including across whole-GPU idle skips and per-SM
-// fast-forward, whose boundary samples are charged virtually.
+// the run totals — including across whole-GPU idle skips, per-SM
+// fast-forward, and sampled fast-forward spans, whose boundary samples
+// are charged virtually (sm.StatsAt / AccountSampled).
 func TestTelemetryWindowExactness(t *testing.T) {
-	for _, par := range []int{1, 4} {
+	cases := []struct {
+		par  int
+		samp SamplingOptions
+	}{
+		{par: 1},
+		{par: 4},
+		{par: 1, samp: SamplingOptions{DetailedCycles: 200, FastForwardCycles: 1500, WarmupCycles: 50}},
+	}
+	for _, tc := range cases {
+		par := tc.par
 		cfg := config.Small().WithPolicy(config.PolicyVT)
 		const ctas, block = 16, 64
 		col := telemetry.NewCollector(telemetry.Config{Window: 64, PerSM: true})
@@ -135,9 +162,13 @@ func TestTelemetryWindowExactness(t *testing.T) {
 			InitMemory:  initVec(ctas * block),
 			Telemetry:   col,
 			Parallelism: par,
+			Sampling:    tc.samp,
 		})
 		if err != nil {
 			t.Fatal(err)
+		}
+		if tc.samp.Enabled() && res.Sampling == nil {
+			t.Fatal("sampled run reported no sampling stats")
 		}
 		d := col.Dump()
 		if d.Cycles != res.Cycles {

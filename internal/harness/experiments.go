@@ -10,6 +10,17 @@ import (
 	"repro/internal/stats"
 )
 
+// markSampled flags a simulation-driven figure table when the sweep ran
+// under interval/sampled simulation (Params.Sampling): every row gets a
+// trailing "sampled" column so no paper figure silently mixes sampled and
+// exact numbers. Static-analysis tables (occupancy, hardware config) never
+// call it; exact sweeps leave the table untouched.
+func markSampled(t *stats.Table, p Params) {
+	if p.Sampling.Enabled() {
+		t.MarkSampled(p.Sampling.String())
+	}
+}
+
 func init() {
 	register(tableConfig())
 	register(tableBenchmarks())
@@ -138,6 +149,7 @@ func figTLP() Experiment {
 				t.Rowf(n, b.AvgActiveWarpsPerSM(), v.AvgActiveWarpsPerSM(),
 					v.AvgResidentWarpsPerSM(), i.AvgActiveWarpsPerSM())
 			}
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -168,6 +180,7 @@ func figSpeedup() Experiment {
 			}
 			t.Note("average speedup: %s (arithmetic), %s (geometric); paper reports +23.9%% average",
 				stats.Pct(stats.Mean(sp)), stats.Pct(stats.GeoMean(sp)))
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -204,6 +217,7 @@ func figIdealGap() Experiment {
 			}
 			t.Note("mean capture of ideal's gain (where ideal gains >5%%): %.0f%%",
 				stats.Mean(caps)*100)
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -234,6 +248,7 @@ func figFullSwap() Experiment {
 				t.Rowf(n, v, f)
 			}
 			t.Note("geomean: vt %s, fullswap %s", stats.Pct(stats.GeoMean(vs)), stats.Pct(stats.GeoMean(fs)))
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -289,6 +304,7 @@ func figSwapLatency() Experiment {
 				row = append(row, stats.GeoMean(perLat[l]))
 			}
 			t.Rowf(row...)
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -347,6 +363,7 @@ func figVirtualCap() Experiment {
 				row = append(row, stats.GeoMean(perCap[cp]))
 			}
 			t.Rowf(row...)
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -403,6 +420,7 @@ func figRFSize() Experiment {
 				row = append(row, stats.GeoMean(perSize[sz]))
 			}
 			t.Rowf(row...)
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -447,6 +465,7 @@ func figScheduler() Experiment {
 				t.Rowf(n, sg, sl)
 			}
 			t.Note("geomean: gto %s, lrr %s", stats.Pct(stats.GeoMean(g)), stats.Pct(stats.GeoMean(l)))
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -471,6 +490,7 @@ func tableSwap() Experiment {
 				t.Rowf(n, v.VT.SwapsOut, v.VT.SwapsIn, v.VT.FreshActivates,
 					v.VT.SwapStallCycles, v.VT.ContextPeak, v.VT.MaxResident)
 			}
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},

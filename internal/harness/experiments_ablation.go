@@ -73,6 +73,7 @@ func ablationVT() Experiment {
 				row = append(row, stats.GeoMean(per[v.name]))
 			}
 			t.Rowf(row...)
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -139,6 +140,7 @@ func ablationModel() Experiment {
 				row = append(row, stats.GeoMean(per[m.name]))
 			}
 			t.Rowf(row...)
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -170,6 +172,7 @@ func figExtras() Experiment {
 				i := res[key{n, "ideal"}]
 				t.Rowf(n, b/float64(v.Cycles), b/float64(i.Cycles), v.VT.SwapsOut)
 			}
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},

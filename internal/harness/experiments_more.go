@@ -47,6 +47,7 @@ func tableEnergy() Experiment {
 			}
 			t.Note("geomean VT/baseline energy: %.3f (energy-delay product improves wherever VT speeds up)",
 				stats.GeoMean(ratios))
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},
@@ -83,6 +84,7 @@ func figKepler() Experiment {
 			}
 			t.Note("geomean: fermi %s, kepler %s — looser scheduling limits leave less stranded TLP",
 				stats.Pct(stats.GeoMean(f)), stats.Pct(stats.GeoMean(k)))
+			markSampled(t, p)
 			t.Fprint(w)
 			return nil
 		},

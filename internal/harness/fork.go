@@ -88,7 +88,7 @@ func ckEntryFor(prefixFP string) *ckEntry {
 // at least two members with distinct full fingerprints (identical jobs
 // already coalesce in the memo cache) sharing a neutralized fingerprint.
 func forkPlan(p Params, jobs []job) []job {
-	if !p.Checkpoint {
+	if !p.Checkpoint || p.Sampling.Enabled() {
 		return jobs
 	}
 	prefixes := make([]string, len(jobs))
@@ -98,12 +98,12 @@ func forkPlan(p Params, jobs []job) []job {
 		if j.mutate != nil {
 			j.mutate(&cfg)
 		}
-		fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg)
+		fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg, gpu.SamplingOptions{})
 		if err != nil {
 			continue
 		}
 		ncfg := gpu.ForkNeutralizedConfig(cfg)
-		pfp, err := fingerprint(j.workload, p.Scale, p.Dilute, &ncfg)
+		pfp, err := fingerprint(j.workload, p.Scale, p.Dilute, &ncfg, gpu.SamplingOptions{})
 		if err != nil {
 			continue
 		}

@@ -83,6 +83,18 @@ type Params struct {
 	// results — and therefore the memo/disk-cache fingerprints — are
 	// unchanged; cache hits skip simulation and record no telemetry.
 	Telemetry bool
+	// Sampling runs every simulation in interval/sampled mode (see
+	// gpu.SamplingOptions): detailed windows alternate with functional
+	// fast-forward spans and the cycle count is extrapolated within the
+	// run's reported error bound. Sampled results are approximations, so
+	// the sampling configuration is part of the memo/disk-cache
+	// fingerprint and of the journal header — a sampled sweep never
+	// poisons an exact cache or resumes an exact journal. Incompatible
+	// with Checkpoint and CheckInvariants (gpu.Run rejects the
+	// combination); fault-injected runs, which force the invariant
+	// checker, execute exactly. The zero value (the default) runs fully
+	// detailed.
+	Sampling gpu.SamplingOptions
 }
 
 // DefaultParams returns the evaluation defaults.

@@ -35,6 +35,14 @@ type JournalMeta struct {
 	Scale   int    `json:"scale"`
 	Dilute  int    `json:"dilute"`
 	Config  string `json:"config"`
+	// Sampling is the sweep's sampling configuration in
+	// gpu.SamplingOptions.String form ("detailed:fastforward:warmup"),
+	// empty for exact sweeps. Sampled cycle counts are extrapolations, so
+	// a sampled sweep must not resume an exact journal (or vice versa, or
+	// one with different windows): the field makes such metas unequal,
+	// which OpenJournal refuses. Exact sweeps keep the historical header
+	// (the field is omitted), so existing journals remain resumable.
+	Sampling string `json:"sampling,omitempty"`
 }
 
 // JournalEntry records one executed run's outcome.
@@ -49,7 +57,12 @@ type JournalEntry struct {
 	Status   string `json:"status"`
 	Attempts int    `json:"attempts"`
 	Cycles   int64  `json:"cycles,omitempty"`
-	Error    string `json:"error,omitempty"`
+	// ErrorBound, for sampled runs, is the run's reported fractional bound
+	// on the cycle-count error (gpu.SamplingStats.ErrorBound); zero for
+	// exact runs. It makes journals self-describing for accuracy drills
+	// that compare a sampled sweep's cycles against an exact sweep's.
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	Error      string  `json:"error,omitempty"`
 	// ForkedFrom, for prefix-forked runs, names the checkpoint the run
 	// resumed from as "<prefix-cache-key[:12]>@<cycle>" (see fork.go).
 	ForkedFrom string `json:"forked_from,omitempty"`

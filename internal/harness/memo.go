@@ -79,6 +79,21 @@ type RunMetrics struct {
 	// runs skipped. SimCycles counts only cycles actually simulated, so
 	// forked runs add their suffix alone.
 	PrefixCyclesSaved int64
+
+	// Sampled-run counters (Params.Sampling; see internal/gpu/sampling.go).
+
+	// SampledRuns counts executed runs that ran in interval/sampled mode;
+	// SampledSpans totals their completed fast-forward spans.
+	// ExtrapolatedCycles is the portion of SimCycles those runs
+	// extrapolated rather than simulated in detail, and FunctionalInstrs
+	// is how many warp instructions they retired functionally.
+	// MaxErrorBound is the largest per-run reported error bound, the
+	// number a sweep-level accuracy claim must quote.
+	SampledRuns        int
+	SampledSpans       int64
+	ExtrapolatedCycles int64
+	FunctionalInstrs   int64
+	MaxErrorBound      float64
 }
 
 type memoEntry struct {
@@ -114,14 +129,22 @@ func ResetMetrics() {
 
 // fingerprint identifies a simulation point. kernels.Build is
 // deterministic, so (workload, scale, dilute) fully determines the
-// launch — grid dimensions, code, and initial memory image.
-func fingerprint(workload string, scale, dilute int, cfg *config.GPUConfig) (string, error) {
+// launch — grid dimensions, code, and initial memory image. A sampled
+// run's cycle count is an extrapolation that depends on the sampling
+// windows, so an enabled samp is part of the key: sampled and exact
+// results never alias, and neither do two different sampling
+// configurations. Exact runs keep the historical key shape (no suffix),
+// preserving existing disk caches.
+func fingerprint(workload string, scale, dilute int, cfg *config.GPUConfig, samp gpu.SamplingOptions) (string, error) {
 	if dilute < 2 {
 		dilute = 1
 	}
 	b, err := json.Marshal(cfg)
 	if err != nil {
 		return "", err
+	}
+	if samp.Enabled() {
+		return fmt.Sprintf("%s|s%d|d%d|%s|samp=%s", workload, scale, dilute, b, samp), nil
 	}
 	return fmt.Sprintf("%s|s%d|d%d|%s", workload, scale, dilute, b), nil
 }
@@ -135,7 +158,7 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 	if j.mutate != nil {
 		j.mutate(&cfg)
 	}
-	fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg)
+	fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg, p.Sampling)
 	if err != nil {
 		// Unfingerprintable config: fall back to an unmemoized run.
 		return supervisedExecute(p, j, cfg, "")
@@ -162,7 +185,10 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 			}
 		}
 		var prefix int64
-		if j.prefixFP != "" && !injected {
+		// Sampled sweeps never fork: a checkpoint capture could land
+		// mid-span (gpu.Run rejects the combination), and a prefix donor's
+		// extrapolated clock would not line up across configs anyway.
+		if j.prefixFP != "" && !injected && !p.Sampling.Enabled() {
 			e.res, e.err, prefix = forkExecute(p, j, cfg, fp)
 		} else {
 			e.res, e.err = supervisedExecute(p, j, cfg, fp)

@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/faultinject"
+	"repro/internal/gpu"
+)
+
+// testSampling is a window configuration small enough to fire inside the
+// heavily diluted sweep shapes the harness tests use.
+func testSampling() gpu.SamplingOptions {
+	return gpu.SamplingOptions{DetailedCycles: 400, FastForwardCycles: 2000, WarmupCycles: 100}
+}
+
+// TestSamplingCacheMiss: sampled cycle counts are extrapolations, so a
+// sampled sweep must never be satisfied from an exact sweep's disk cache
+// (or vice versa). The sampling configuration is part of the content
+// fingerprint, which keys both caches.
+func TestSamplingCacheMiss(t *testing.T) {
+	ResetMetrics()
+	defer ResetMetrics()
+	cache := t.TempDir()
+	p, jobs := supervisorParams()
+	p.CacheDir = cache
+
+	if _, err := runMany(p, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if m := Metrics(); m.Executed != 4 || m.SampledRuns != 0 {
+		t.Fatalf("exact sweep: %+v, want 4 executed, 0 sampled", m)
+	}
+
+	// Same jobs, same cache dir, sampling on: every run must miss the
+	// exact entries and execute (sampled this time).
+	ResetMetrics()
+	ps := p
+	ps.Sampling = testSampling()
+	if _, err := runMany(ps, jobs); err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics()
+	if m.CacheHits != 0 || m.Executed != 4 {
+		t.Fatalf("sampled sweep over exact cache: %+v, want 0 hits / 4 executed", m)
+	}
+	if m.SampledRuns != 4 {
+		t.Fatalf("SampledRuns = %d, want 4", m.SampledRuns)
+	}
+
+	// Re-running the sampled sweep hits its own entries; the exact sweep
+	// still hits its original ones. Neither cross-contaminates.
+	ResetMetrics()
+	if _, err := runMany(ps, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if m := Metrics(); m.CacheHits != 4 || m.Executed != 0 {
+		t.Fatalf("sampled re-run: %+v, want 4 hits / 0 executed", m)
+	}
+	ResetMetrics()
+	if _, err := runMany(p, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if m := Metrics(); m.CacheHits != 4 || m.Executed != 0 || m.SampledRuns != 0 {
+		t.Fatalf("exact re-run: %+v, want 4 hits / 0 executed / 0 sampled", m)
+	}
+}
+
+// TestSamplingJournalMismatch: a sampled sweep must refuse to resume an
+// exact journal (and vice versa) — the fingerprints recorded there would
+// never match. Fresh (non-resume) opens rotate the foreign journal aside.
+func TestSamplingJournalMismatch(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.jsonl")
+	exact := JournalMeta{Scale: 1, Dilute: 60, Config: "small"}
+	sampled := exact
+	sampled.Sampling = testSampling().String()
+
+	jl, err := OpenJournal(jpath, exact, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+
+	if _, err := OpenJournal(jpath, sampled, true); err == nil {
+		t.Fatal("sampled resume of an exact journal must be refused")
+	}
+	// The reverse direction: a sampled journal refuses an exact resume,
+	// and also a resume with different windows.
+	jl2, err := OpenJournal(jpath, sampled, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl2.Close()
+	if _, err := OpenJournal(jpath, exact, true); err == nil {
+		t.Fatal("exact resume of a sampled journal must be refused")
+	}
+	other := exact
+	other.Sampling = gpu.SamplingOptions{DetailedCycles: 500, FastForwardCycles: 2000}.String()
+	if _, err := OpenJournal(jpath, other, true); err == nil {
+		t.Fatal("resume with different sampling windows must be refused")
+	}
+	// Same sampled meta resumes fine.
+	jl3, err := OpenJournal(jpath, sampled, true)
+	if err != nil {
+		t.Fatalf("matching sampled resume failed: %v", err)
+	}
+	jl3.Close()
+}
+
+// TestSamplingInjectedRunsExact: fault-injected runs force the invariant
+// checker, which is incompatible with fast-forward spans, so the
+// supervisor must run them exactly even in a sampled sweep. The injected
+// first attempt panics, the safe-mode retry succeeds; neither may sample.
+func TestSamplingInjectedRunsExact(t *testing.T) {
+	ResetMetrics()
+	defer ResetMetrics()
+	p, jobs := supervisorParams()
+	p.FailDir = t.TempDir()
+	p.Sampling = testSampling()
+	p.Inject = &faultinject.Spec{Workload: "vecadd", Variant: "vt", Cycle: 100,
+		Kind: faultinject.PanicOnce}
+
+	if _, err := runMany(p, jobs); err != nil {
+		t.Fatalf("degradation must absorb the injected failure, got %v", err)
+	}
+	m := Metrics()
+	if m.Degraded != 1 {
+		t.Fatalf("metrics = %+v, want 1 degraded", m)
+	}
+	// Three healthy jobs sampled; the injected one (both attempts) did not.
+	if m.SampledRuns != 3 {
+		t.Fatalf("SampledRuns = %d, want 3 (injected job runs exactly)", m.SampledRuns)
+	}
+}
+
+// TestSamplingDisablesPrefixFork: forked runs must be bit-identical to
+// full runs, which extrapolated clocks cannot promise, so Checkpoint and
+// Sampling together fall back to ordinary full executions.
+func TestSamplingDisablesPrefixFork(t *testing.T) {
+	ResetMetrics()
+	defer ResetMetrics()
+	p := Params{Scale: 1, Config: config.Small(), Workers: 2, Dilute: 40,
+		Checkpoint: true, Sampling: testSampling()}
+	jobs := swapLatJobs("pathfinder", []int{0, 64, 256})
+	if _, err := runMany(p, jobs); err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics()
+	if m.CheckpointsCaptured != 0 || m.CheckpointHits != 0 {
+		t.Fatalf("sampled sweep must not fork: %+v", m)
+	}
+	if m.SampledRuns == 0 {
+		t.Fatal("sweep did not sample at all")
+	}
+}
+
+// TestSampledFigureIsFlagged: a figure produced by a sampled sweep must
+// carry the "sampled" column so it can never pass for exact data; the
+// same figure from an exact sweep must not.
+func TestSampledFigureIsFlagged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, _ := Get("fig-speedup")
+	p := Params{Scale: 1, Config: config.GTX480(), Dilute: 30, Sampling: testSampling()}
+	var sb strings.Builder
+	if err := e.Run(p, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); !strings.Contains(out, "sampled") || !strings.Contains(out, testSampling().String()) {
+		t.Errorf("sampled figure not flagged:\n%s", out)
+	}
+
+	p.Sampling = gpu.SamplingOptions{}
+	sb.Reset()
+	if err := e.Run(p, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); strings.Contains(out, "sampled") {
+		t.Errorf("exact figure wrongly flagged:\n%s", out)
+	}
+}
+
+// TestSamplingSwapLatDrill is the CI sampled-accuracy drill: one
+// fig-swaplat point (pathfinder, baseline vs VT at swap latency 64) run
+// exact and sampled. The reported per-run error bound must be honest —
+// |sampled-exact|/exact within the bound — the architectural instruction
+// count must be exact, spans must actually fire (no vacuous pass), and
+// the VT-vs-baseline ordering the figure reports must be preserved.
+func TestSamplingSwapLatDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation drill")
+	}
+	ResetMetrics()
+	defer ResetMetrics()
+	jobs := append(swapLatJobs("pathfinder", []int{64}),
+		job{workload: "pathfinder", variant: "baseline"})
+	p := Params{Scale: 1, Config: config.Small(), Workers: 2}
+	exact, err := runMany(p, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := p
+	ps.Sampling = gpu.SamplingOptions{DetailedCycles: 4000, FastForwardCycles: 8000, WarmupCycles: 1000}
+	sampled, err := runMany(ps, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []key{{Workload: "pathfinder", Variant: "baseline"}, {Workload: "pathfinder", Variant: "lat64"}} {
+		e, s := exact[k], sampled[k]
+		if s.Sampling == nil || s.Sampling.Spans == 0 || s.Sampling.ExtrapolatedCycles == 0 {
+			t.Fatalf("%s: no fast-forward spans ran (%+v); drill is vacuous", k.Variant, s.Sampling)
+		}
+		if s.SM.Issued != e.SM.Issued {
+			t.Errorf("%s: sampled Issued %d != exact %d (architectural state must be exact)",
+				k.Variant, s.SM.Issued, e.SM.Issued)
+		}
+		rel := math.Abs(float64(s.Cycles-e.Cycles)) / float64(e.Cycles)
+		t.Logf("%s: exact %d sampled %d rel err %.4f bound %.4f (%d spans, %d extrapolated cycles)",
+			k.Variant, e.Cycles, s.Cycles, rel, s.Sampling.ErrorBound,
+			s.Sampling.Spans, s.Sampling.ExtrapolatedCycles)
+		if rel > s.Sampling.ErrorBound {
+			t.Errorf("%s: error %.4f exceeds the reported bound %.4f (dishonest bound)",
+				k.Variant, rel, s.Sampling.ErrorBound)
+		}
+	}
+
+	// The figure's conclusion — does VT at this latency beat baseline? —
+	// must not flip under sampling.
+	eb := exact[key{Workload: "pathfinder", Variant: "baseline"}].Cycles
+	ev := exact[key{Workload: "pathfinder", Variant: "lat64"}].Cycles
+	sb := sampled[key{Workload: "pathfinder", Variant: "baseline"}].Cycles
+	sv := sampled[key{Workload: "pathfinder", Variant: "lat64"}].Cycles
+	if (ev < eb) != (sv < sb) {
+		t.Errorf("VT-vs-baseline ordering flipped: exact %d/%d, sampled %d/%d", eb, ev, sb, sv)
+	}
+}

@@ -113,16 +113,24 @@ func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool, spec *fork
 		Parallelism:     p.runParallelism(),
 		CheckInvariants: p.CheckInvariants,
 	}
+	// Fault-injected runs force the invariant checker, which sampling's
+	// extrapolated issue-slot accounting cannot satisfy mid-span, so they
+	// execute exactly; every other run in a sampled sweep samples. Fork
+	// specs never coexist with sampling (see forkPlan and memoRun).
+	injected := p.Inject != nil && p.Inject.Matches(j.workload, j.variant)
+	if p.Sampling.Enabled() && !injected {
+		opts.Sampling = p.Sampling
+	}
 	if safeMode {
 		opts.DisableIssueFastPath = true
 		opts.Parallelism = 1
 	}
-	if sp := p.Inject; sp != nil && sp.Matches(j.workload, j.variant) {
+	if injected {
 		n := 0
 		if safeMode {
 			n = 1
 		}
-		opts.FaultHook = sp.Hook(n)
+		opts.FaultHook = p.Inject.Hook(n)
 		// Injected corruption must be caught, not silently folded into
 		// results, so injected runs always check invariants.
 		opts.CheckInvariants = true
@@ -159,6 +167,18 @@ func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool, spec *fork
 		bumpMetric(func(m *RunMetrics) {
 			m.TelemetryWindows += int64(windows)
 			m.TelemetrySpans += int64(spans)
+		})
+	}
+	if a.err == nil && a.res != nil && a.res.Sampling != nil {
+		ss := a.res.Sampling
+		bumpMetric(func(m *RunMetrics) {
+			m.SampledRuns++
+			m.SampledSpans += ss.Spans
+			m.ExtrapolatedCycles += ss.ExtrapolatedCycles
+			m.FunctionalInstrs += ss.FunctionalInstrs
+			if ss.ErrorBound > m.MaxErrorBound {
+				m.MaxErrorBound = ss.ErrorBound
+			}
 		})
 	}
 	return a
@@ -296,6 +316,9 @@ func (p Params) journalRecord(j job, fp, status string, attempts int, res *gpu.R
 	}
 	if res != nil {
 		e.Cycles = res.Cycles
+		if res.Sampling != nil {
+			e.ErrorBound = res.Sampling.ErrorBound
+		}
 	}
 	if err != nil {
 		e.Error = err.Error()

@@ -221,6 +221,10 @@ type SM struct {
 
 	addrBuf []uint32
 	srcBuf  []isa.Reg
+
+	// sampLines is coalescing scratch for the functional-retire path
+	// (see sampling.go); transient, never serialized.
+	sampLines []uint32
 }
 
 // wbEntry is one pending scoreboard clear.

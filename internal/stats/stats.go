@@ -56,6 +56,21 @@ func (t *Table) Note(format string, args ...any) *Table {
 	return t
 }
 
+// MarkSampled appends a trailing "sampled" column flagging every row as
+// produced by interval/sampled simulation, plus a footnote naming the
+// window configuration, so a figure can never silently mix sampled and
+// exact numbers. Call after the last Row; the flag lands in the text and
+// CSV renderings alike.
+func (t *Table) MarkSampled(cfg string) *Table {
+	if len(t.headers) > 0 {
+		t.headers = append(t.headers, "sampled")
+	}
+	for i := range t.rows {
+		t.rows[i] = append(t.rows[i], "yes")
+	}
+	return t.Note("sampled (%s): cycle-derived values are extrapolations within the reported error bound", cfg)
+}
+
 // Fprint renders the table.
 func (t *Table) Fprint(w io.Writer) {
 	cols := len(t.headers)

@@ -35,6 +35,27 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestTableMarkSampled(t *testing.T) {
+	tb := NewTable("fig", "workload", "speedup")
+	tb.Row("nw", "1.2")
+	tb.Row("bfs", "1.1")
+	tb.MarkSampled("100:1000:25")
+	out := tb.String()
+	for _, want := range []string{"sampled", "100:1000:25", "extrapolations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every data row carries the flag cell.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "nw") || strings.HasPrefix(l, "bfs") {
+			if !strings.HasSuffix(strings.TrimRight(l, " "), "yes") {
+				t.Errorf("row not flagged: %q", l)
+			}
+		}
+	}
+}
+
 func TestTableRaggedRows(t *testing.T) {
 	tb := NewTable("ragged", "a")
 	tb.Row("x", "extra", "more")

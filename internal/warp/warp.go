@@ -160,6 +160,13 @@ type CTA struct {
 	AssignedAt  int64 // cycle the CTA became resident
 	ActivatedAt int64 // cycle of the most recent activation
 	Activations int   // number of times the CTA gained warp slots
+
+	// CtxCharged is the context-buffer bytes the VT controller charged
+	// when this CTA was swapped out (0 while active). The charge is
+	// recorded here rather than recomputed at release because functional
+	// fast-forward spans can grow or shrink a swapped-out CTA's SIMT
+	// stacks, and the buffer must release exactly what was charged.
+	CtxCharged int
 }
 
 // Done reports whether every warp has exited.
