@@ -165,6 +165,58 @@ func TestCheckThroughputSkipsUnpopulatedRecords(t *testing.T) {
 	}
 }
 
+// TestSchemaV5StoreFieldsTolerated pins the satellite contract of the
+// result-store migration: a schema_version 5 report carrying the new
+// store counters (store_hits/store_misses/store_repairs/store_retries)
+// gates cleanly against a v4 baseline that has never heard of them, and
+// a v4 report checks against a v5 baseline — the counters are additive
+// and the gated fields keep their meaning.
+func TestSchemaV5StoreFieldsTolerated(t *testing.T) {
+	dir := t.TempDir()
+	v5 := filepath.Join(dir, "v5.json")
+	v4 := filepath.Join(dir, "v4.json")
+	v5doc := `{
+		"schema_version": 5,
+		"sim_cycles": 1000,
+		"simcycles_per_sec": 990.0,
+		"store_hits": 12,
+		"store_misses": 3,
+		"store_repairs": 1,
+		"store_retries": 2,
+		"experiments": [{"id": "fig-speedup", "sim_cycles": 1000, "simcycles_per_sec": 990.0}]
+	}`
+	v4doc := `{
+		"schema_version": 4,
+		"sim_cycles": 1000,
+		"simcycles_per_sec": 1000.0,
+		"experiments": [{"id": "fig-speedup", "sim_cycles": 1000, "simcycles_per_sec": 1000.0}]
+	}`
+	if err := os.WriteFile(v5, []byte(v5doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v4, []byte(v4doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newer, err := load(v5)
+	if err != nil {
+		t.Fatalf("v5 report with store counters must load: %v", err)
+	}
+	older, err := load(v4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newer.SimCycles != 1000 || newer.SimCyclesPerSec != 990.0 {
+		t.Fatalf("gated fields mangled by the v5 additions: %+v", newer)
+	}
+	var out strings.Builder
+	if err := checkThroughput(&out, older, newer, 0.30); err != nil {
+		t.Fatalf("v5 current against v4 baseline must gate on throughput alone: %v", err)
+	}
+	if err := checkThroughput(&out, newer, older, 0.30); err != nil {
+		t.Fatalf("v4 current against v5 baseline must gate on throughput alone: %v", err)
+	}
+}
+
 // TestLoadMissingFields: an old baseline lacking fields decodes to
 // zeros, which main() then rejects explicitly rather than dividing by
 // zero — check the decode half here.

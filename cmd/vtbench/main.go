@@ -11,7 +11,9 @@
 //	vtbench -json BENCH_engine.json   # per-experiment wall time + simcycles/s
 //	vtbench -cpuprofile cpu.pprof     # profile, labeled by experiment/workload/variant
 //	vtbench -faildir failures         # write repro bundles for failed runs
-//	vtbench -cachedir c -resume       # continue an interrupted/failed sweep
+//	vtbench -store c -resume          # continue an interrupted/failed sweep
+//	vtbench -store c -mirror m        # replicate the result store to a second directory
+//	vtbench -store c -repair          # audit + heal the store, then exit
 //	vtbench -monitor :8080            # live sweep progress (HTML + /status JSON)
 //	vtbench -telemetry                # collect per-run telemetry (totals in -json)
 //	vtbench -checkpoint               # prefix-fork sweep points that share a run prefix
@@ -39,6 +41,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/gpu"
 	"repro/internal/harness"
+	"repro/internal/resultstore"
 	"repro/internal/stats"
 )
 
@@ -68,7 +71,12 @@ type expReport struct {
 // is reported in extrapolated_cycles) and every per-run cycle count
 // carries the error bound reported in max_error_bound — so neither
 // sim_cycles nor simcycles_per_sec is comparable to an exact baseline.
-const benchReportSchemaVersion = 4
+//
+// v5: adds the result-store counters (store_hits/store_misses/
+// store_repairs/store_retries). Purely additive — every v4 field keeps
+// its meaning — but cache_hits on a -store sweep now includes hits the
+// store healed from a mirror, which a v4 consumer could not distinguish.
+const benchReportSchemaVersion = 5
 
 // benchReport is the top-level -json document.
 type benchReport struct {
@@ -109,6 +117,15 @@ type benchReport struct {
 	ExtrapolatedCycles int64   `json:"extrapolated_cycles,omitempty"`
 	FunctionalInstrs   int64   `json:"functional_instrs,omitempty"`
 	MaxErrorBound      float64 `json:"max_error_bound,omitempty"`
+	// Result-store counters (-store/-cachedir sweeps only; see
+	// internal/resultstore). store_hits/store_misses count verified reads;
+	// store_repairs counts objects healed bit-identically from the mirror;
+	// store_retries counts transient store I/O errors absorbed by the
+	// bounded retry.
+	StoreHits    int `json:"store_hits,omitempty"`
+	StoreMisses  int `json:"store_misses,omitempty"`
+	StoreRepairs int `json:"store_repairs,omitempty"`
+	StoreRetries int `json:"store_retries,omitempty"`
 
 	Experiments []expReport `json:"experiments"`
 }
@@ -126,7 +143,10 @@ func realMain() int {
 		out        = flag.String("out", "", "write output to file instead of stdout")
 		csvDir     = flag.String("csv", "", "also write every table as CSV into this directory")
 		jsonPath   = flag.String("json", "", "write per-experiment wall time and simcycles/s to this file")
-		cacheDir   = flag.String("cachedir", "", "persist memoized run results in this directory across invocations")
+		cacheDir   = flag.String("cachedir", "", "persist memoized run results in this directory across invocations (alias of -store)")
+		storeDir   = flag.String("store", "", "result-store directory: cached results, checkpoints, and the completion journal commit here transactionally")
+		mirrorDir  = flag.String("mirror", "", "replicate the result store to this second directory; corrupt objects heal from it on read")
+		repair     = flag.Bool("repair", false, "audit the result store (and mirror), heal damaged objects from a healthy replica, print a report, and exit")
 		failDir    = flag.String("faildir", "failures", "write a JSON repro bundle per failed run into this directory (\"\" disables)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock deadline per simulation (0 = none)")
 		checkInv   = flag.Bool("checkinvariants", false, "run every simulation with the conservation-invariant checker")
@@ -148,6 +168,25 @@ func realMain() int {
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+
+	// -store is the preferred name for the directory the transactional
+	// result store manages; -cachedir remains as the historical alias.
+	if *storeDir != "" && *cacheDir != "" && *storeDir != *cacheDir {
+		return fatalf("-store and -cachedir name different directories; use one")
+	}
+	if *storeDir == "" {
+		*storeDir = *cacheDir
+	}
+	if *mirrorDir != "" && *storeDir == "" {
+		return fatalf("-mirror needs -store: the mirror replicates a primary store")
+	}
+
+	if *repair {
+		if *storeDir == "" {
+			return fatalf("-repair needs -store")
+		}
+		return runRepair(*storeDir, *mirrorDir)
 	}
 
 	var w io.Writer = os.Stdout
@@ -183,7 +222,8 @@ func realMain() int {
 	p.Scale = *scale
 	p.Dilute = *dilute
 	p.Workers = *workers
-	p.CacheDir = *cacheDir
+	p.CacheDir = *storeDir
+	p.MirrorDir = *mirrorDir
 	p.FailDir = *failDir
 	p.RunTimeout = *timeout
 	p.CheckInvariants = *checkInv
@@ -226,18 +266,26 @@ func realMain() int {
 		}
 		p.Inject = sp
 	}
-	if *resume && *cacheDir == "" {
-		return fatalf("-resume needs -cachedir: the journal and the cached results live there")
+	if *resume && *storeDir == "" {
+		return fatalf("-resume needs -store: the journal and the cached results live there")
 	}
-	if *cacheDir != "" {
+	if *storeDir != "" {
 		meta := harness.JournalMeta{Scale: *scale, Dilute: *dilute, Config: p.Config.Name, Sampling: p.Sampling.String()}
-		jl, err := harness.OpenJournal(filepath.Join(*cacheDir, "journal.jsonl"), meta, *resume)
+		jl, err := harness.OpenJournal(filepath.Join(*storeDir, harness.JournalFileName), meta, *resume)
 		if err != nil {
 			return fatalf("%v", err)
 		}
 		defer jl.Close()
 		p.Journal = jl
 		p.Resume = *resume
+		if *mirrorDir != "" {
+			// Seed the mirror's journal header so store transactions have a
+			// valid journal to append entry lines to, making a failed-over
+			// mirror directory resumable on its own.
+			if err := harness.EnsureJournalHeader(filepath.Join(*mirrorDir, harness.JournalFileName), meta); err != nil {
+				return fatalf("mirror journal: %v", err)
+			}
+		}
 		if *resume {
 			ok, degraded, failed := jl.Summary()
 			fmt.Fprintf(os.Stderr, "vtbench: resuming sweep: journal records %d ok, %d degraded, %d failed\n",
@@ -322,6 +370,10 @@ func realMain() int {
 	report.ExtrapolatedCycles = m.ExtrapolatedCycles
 	report.FunctionalInstrs = m.FunctionalInstrs
 	report.MaxErrorBound = m.MaxErrorBound
+	report.StoreHits = m.StoreHits
+	report.StoreMisses = m.StoreMisses
+	report.StoreRepairs = m.StoreRepairs
+	report.StoreRetries = m.StoreRetries
 	if report.TotalWallSec > 0 {
 		report.SimCyclesPerSec = float64(m.SimCycles) / report.TotalWallSec
 	}
@@ -333,6 +385,10 @@ func realMain() int {
 	if p.Sampling.Enabled() && m.SampledRuns > 0 {
 		fmt.Fprintf(w, "sampling %s: %d sampled runs, %d spans, %d extrapolated cycles, %d functional instrs, max error bound %.2f%%\n",
 			p.Sampling, m.SampledRuns, m.SampledSpans, m.ExtrapolatedCycles, m.FunctionalInstrs, 100*m.MaxErrorBound)
+	}
+	if m.StoreRepairs > 0 || m.StoreRetries > 0 {
+		fmt.Fprintf(w, "result store: %d objects healed from the mirror, %d transient I/O retries\n",
+			m.StoreRepairs, m.StoreRetries)
 	}
 	if m.Retries > 0 || m.Failures > 0 {
 		fmt.Fprintf(w, "supervisor: %d safe-mode retries, %d degraded, %d failed runs\n",
@@ -366,6 +422,36 @@ func realMain() int {
 		}
 	}
 	return exitCode
+}
+
+// runRepair opens the result store, audits every object on every side,
+// heals damaged copies bit-identically from a healthy replica, and
+// prints the report. Exit 0 when the store is (or was made) fully
+// healthy, 1 on a setup error, 3 when objects remain unrecoverable —
+// those were quarantined, so the next sweep re-simulates them.
+func runRepair(dir, mirror string) int {
+	st, err := resultstore.Open(resultstore.Options{Dir: dir, Mirror: mirror})
+	if err != nil {
+		return fatalf("open store: %v", err)
+	}
+	defer st.Close()
+	rep := st.Repair()
+	fmt.Printf("store %s", dir)
+	if mirror != "" {
+		fmt.Printf(" (mirror %s)", mirror)
+	}
+	fmt.Printf(": %d objects checked, %d healthy, %d legacy, %d repaired\n",
+		rep.Checked, rep.Healthy, rep.Legacy, rep.Repaired)
+	for _, d := range rep.Damaged {
+		fmt.Printf("damaged: %s\n", d)
+	}
+	for _, u := range rep.Unrecoverable {
+		fmt.Printf("unrecoverable (quarantined, will re-simulate): %s\n", u)
+	}
+	if len(rep.Unrecoverable) > 0 || len(rep.Damaged) > 0 {
+		return 3
+	}
+	return 0
 }
 
 func fatalf(format string, args ...any) int {

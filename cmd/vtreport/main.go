@@ -10,6 +10,8 @@
 //	vtreport                    # whole suite
 //	vtreport -workload nw       # one workload, with the per-constraint breakdown
 //	vtreport -rings dump.json   # timeline summary of a telemetry ring dump
+//	vtreport -store dir         # result-store inventory + integrity audit
+//	vtreport -store p -mirror m # ... across both replica sides
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	vtsim "repro"
 	"repro/internal/cta"
 	"repro/internal/kernels"
+	"repro/internal/resultstore"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -30,11 +33,21 @@ func main() {
 		workload = flag.String("workload", "", "analyze one workload in detail")
 		scale    = flag.Int("scale", 1, "grid size multiplier")
 		rings    = flag.String("rings", "", "render the timeline summary of a telemetry ring dump (vtsim -telemetry)")
+		storeDir = flag.String("store", "", "query a result store: per-kind inventory, replica sides, and a read-only integrity audit")
+		mirror   = flag.String("mirror", "", "with -store, also audit this mirror side")
 	)
 	flag.Parse()
 
 	if *rings != "" {
 		if err := ringsReport(*rings); err != nil {
+			fmt.Fprintf(os.Stderr, "vtreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *storeDir != "" {
+		if err := storeReport(*storeDir, *mirror); err != nil {
 			fmt.Fprintf(os.Stderr, "vtreport: %v\n", err)
 			os.Exit(1)
 		}
@@ -85,6 +98,49 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// storeReport opens the result store read-mostly (opening replays the
+// index and recovers any interrupted transaction) and prints the
+// per-kind inventory, the replica sides, and a Verify audit — without
+// modifying any object (vtbench -repair heals).
+func storeReport(dir, mirror string) error {
+	st, err := resultstore.Open(resultstore.Options{Dir: dir, Mirror: mirror})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	t := stats.NewTable("result store inventory: "+dir,
+		"kind", "objects", "legacy", "segmented", "bytes")
+	for _, inv := range st.Inventory() {
+		t.Rowf(string(inv.Kind), inv.Objects, inv.Legacy, inv.Segmented, inv.Bytes)
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+
+	s := stats.NewTable("replica sides", "role", "directory", "indexed", "failed")
+	for _, sd := range st.Sides() {
+		s.Rowf(sd.Role, sd.Dir, sd.Indexed, fmt.Sprintf("%v", sd.Failed))
+	}
+	s.Fprint(os.Stdout)
+	fmt.Println()
+
+	rep := st.Verify()
+	fmt.Printf("audit: %d objects checked, %d healthy, %d legacy (pre-store, unverified)\n",
+		rep.Checked, rep.Healthy, rep.Legacy)
+	for _, d := range rep.Damaged {
+		fmt.Printf("damaged: %s\n", d)
+	}
+	for _, u := range rep.Unrecoverable {
+		fmt.Printf("unrecoverable: %s\n", u)
+	}
+	if len(rep.Damaged) > 0 || len(rep.Unrecoverable) > 0 {
+		return fmt.Errorf("store has %d damaged and %d unrecoverable objects; run vtbench -store %s -repair",
+			len(rep.Damaged), len(rep.Unrecoverable), dir)
+	}
+	fmt.Println("store is healthy")
+	return nil
 }
 
 // loadDump reads a telemetry ring dump written by vtsim -telemetry.

@@ -1,0 +1,206 @@
+package faultinject
+
+// Storage-layer fault injection for internal/resultstore. A StoreSpec
+// names one filesystem operation of the result store (by class and
+// ordinal) and what goes wrong there: the process dies before or after
+// the syscall, the write lands torn or bit-flipped, or the operation
+// fails once with a transient I/O error. Like the simulation faults in
+// this package, store faults are deterministic by construction — a
+// stateful hook per store instance with its own fired flag, no clocks,
+// no randomness — so the commit protocol's all-or-nothing claim can be
+// proven by a kill-point sweep: enumerate every operation of a commit
+// with NewStoreRecorder, then re-run the commit once per operation with
+// a crash injected exactly there.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// StoreOp classifies one filesystem operation of the result store.
+type StoreOp int
+
+const (
+	// StoreOpAny matches every operation class (kill-point sweeps).
+	StoreOpAny StoreOp = iota
+	// StoreOpWrite is a whole-file or appended write (staged payloads,
+	// redo records, index and journal lines).
+	StoreOpWrite
+	// StoreOpRename is an atomic rename (staging to final object name,
+	// redo record to commit record).
+	StoreOpRename
+	// StoreOpRead is a whole-file read (object loads, replica copies).
+	StoreOpRead
+)
+
+// String names the op class as test labels spell it.
+func (o StoreOp) String() string {
+	switch o {
+	case StoreOpAny:
+		return "any"
+	case StoreOpWrite:
+		return "write"
+	case StoreOpRename:
+		return "rename"
+	case StoreOpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("storeop(%d)", int(o))
+	}
+}
+
+// StoreFaultKind selects what the injected storage fault does.
+type StoreFaultKind int
+
+const (
+	// StoreCrash dies (panics with *StoreKill) before the operation runs:
+	// its bytes never reach the disk.
+	StoreCrash StoreFaultKind = iota
+	// StoreCrashAfter dies immediately after the operation completes: the
+	// "new name exists" half of a torn rename, or a write that became
+	// durable the instant before death.
+	StoreCrashAfter
+	// StoreTruncate writes only the first half of the payload and then
+	// dies: a torn write.
+	StoreTruncate
+	// StoreBitFlip silently flips one bit of the payload and continues:
+	// at-rest corruption an end-to-end checksum must catch.
+	StoreBitFlip
+	// StoreEIO fails the operation once with ErrInjectedIO and continues;
+	// the retried operation succeeds, modelling a transient I/O error.
+	StoreEIO
+)
+
+// String names the kind as test labels spell it.
+func (k StoreFaultKind) String() string {
+	switch k {
+	case StoreCrash:
+		return "crash"
+	case StoreCrashAfter:
+		return "crash-after"
+	case StoreTruncate:
+		return "truncate"
+	case StoreBitFlip:
+		return "bit-flip"
+	case StoreEIO:
+		return "eio-once"
+	default:
+		return fmt.Sprintf("storekind(%d)", int(k))
+	}
+}
+
+// ErrInjectedIO is the transient error StoreEIO faults return. The
+// result store classifies it as retryable (resultstore.IsTransient), so
+// the harness's bounded retry-with-backoff absorbs it.
+var ErrInjectedIO = errors.New("faultinject: injected transient I/O error")
+
+// StoreKill is the panic value crash-kind store faults raise: the
+// simulated process death. Kill-point tests recover it, abandon the
+// store instance, and reopen the directories to exercise recovery —
+// exactly what a restarted process would see.
+type StoreKill struct {
+	Op   StoreOp
+	Path string
+	Seq  int
+}
+
+func (k *StoreKill) Error() string {
+	return fmt.Sprintf("faultinject: simulated process death at store op %d (%s %s)", k.Seq, k.Op, k.Path)
+}
+
+// StoreSpec is one deterministic storage fault: fire on the N-th
+// (0-based) operation matching Op, with the given Kind.
+type StoreSpec struct {
+	Op   StoreOp
+	N    int
+	Kind StoreFaultKind
+}
+
+// StoreHook compiles the spec into a stateful hook for one store
+// instance. Each hook carries its own operation counter and fired flag.
+func (sp *StoreSpec) StoreHook() *StoreHook {
+	return &StoreHook{spec: *sp}
+}
+
+// StoreHook observes every filesystem operation of a result store and
+// injects at most one fault. Safe for concurrent use.
+type StoreHook struct {
+	mu     sync.Mutex
+	spec   StoreSpec
+	match  int
+	fired  bool
+	record bool
+	trace  []string
+}
+
+// NewStoreRecorder returns a hook that injects nothing and records the
+// operation trace, so kill-point sweeps can first enumerate the
+// operations of a commit sequence.
+func NewStoreRecorder() *StoreHook {
+	return &StoreHook{spec: StoreSpec{N: -1}, record: true}
+}
+
+// Trace returns the recorded operations as "op path" lines.
+func (h *StoreHook) Trace() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.trace...)
+}
+
+// Fired reports whether the fault has triggered.
+func (h *StoreHook) Fired() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fired
+}
+
+// Apply is called by the result store before each filesystem operation
+// with the op class, target path, and payload (writes only; nil for
+// renames and reads). It returns the payload the operation should use,
+// whether the caller must simulate process death immediately after the
+// operation completes (by panicking with *StoreKill), and an error that
+// fails the operation. Crash-before faults panic with *StoreKill from
+// inside Apply, so the operation never happens.
+func (h *StoreHook) Apply(op StoreOp, path string, data []byte) (out []byte, dieAfter bool, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.record {
+		h.trace = append(h.trace, fmt.Sprintf("%s %s", op, path))
+	}
+	out = data
+	if h.fired || h.spec.N < 0 {
+		return out, false, nil
+	}
+	if h.spec.Op != StoreOpAny && h.spec.Op != op {
+		return out, false, nil
+	}
+	seq := h.match
+	h.match++
+	if seq != h.spec.N {
+		return out, false, nil
+	}
+	h.fired = true
+	kind := h.spec.Kind
+	if data == nil && (kind == StoreTruncate || kind == StoreBitFlip) {
+		// Payload faults degrade to a crash on payload-less operations.
+		kind = StoreCrash
+	}
+	switch kind {
+	case StoreCrash:
+		panic(&StoreKill{Op: op, Path: path, Seq: seq})
+	case StoreCrashAfter:
+		return out, true, nil
+	case StoreTruncate:
+		return out[:len(out)/2], true, nil
+	case StoreBitFlip:
+		flipped := append([]byte(nil), out...)
+		if len(flipped) > 0 {
+			flipped[len(flipped)/2] ^= 0x10
+		}
+		return flipped, false, nil
+	case StoreEIO:
+		return out, false, ErrInjectedIO
+	}
+	return out, false, nil
+}

@@ -4,12 +4,23 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
+	"sync"
+	"time"
 
 	"repro/internal/gpu"
+	"repro/internal/resultstore"
 )
+
+// The disk layer of the memo cache is the transactional result store
+// (internal/resultstore): results, checkpoints, and completion-journal
+// lines commit as atomic transactions to Params.CacheDir and replicate
+// to Params.MirrorDir. Object files keep the historical vtsim-/vtck-
+// names, and directories written by pre-store builds open unchanged as
+// legacy objects (readable, unverified), so existing caches survive the
+// migration.
 
 // diskCacheVersion invalidates every on-disk entry when the fingerprint
 // scheme or the Result layout changes meaning. Bump it whenever a change
@@ -27,86 +38,146 @@ type diskEntry struct {
 	Result      *gpu.Result `json:"result"`
 }
 
-// cacheKey hashes a fingerprint into the stable hex id used both for
-// cache file names and for completion-journal entries, so a journal line
-// can be correlated with its cached Result on disk.
+// cacheKey hashes a fingerprint into the stable hex id used for cache
+// object names, completion-journal entries, and result-store keys, so a
+// journal line can be correlated with its stored Result.
 func cacheKey(fp string) string {
 	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s", diskCacheVersion, fp)))
 	return hex.EncodeToString(sum[:16])
 }
 
-// diskCachePath maps a fingerprint to its cache file.
-func diskCachePath(dir, fp string) string {
-	return filepath.Join(dir, "vtsim-"+cacheKey(fp)+".json")
+// Stores are opened once per (CacheDir, MirrorDir) pair and shared by
+// every run of the sweep; ResetMetrics drops them, so tests that reset
+// between invocations exercise a fresh open (index replay + WAL
+// recovery) exactly like a new process would.
+type storeHandle struct {
+	st  *resultstore.Store
+	err error
 }
 
-// diskLoad returns the cached Result for the fingerprint, or nil. A
-// missing file is a plain miss; a file that exists but cannot be used
-// (torn/corrupt JSON, stale version, fingerprint mismatch) is quarantined
-// rather than silently re-simulated over, so corruption stays observable.
-func diskLoad(dir, fp string) *gpu.Result {
-	path := diskCachePath(dir, fp)
-	b, err := os.ReadFile(path)
-	if err != nil {
+var (
+	storesMu sync.Mutex
+	stores   = map[string]*storeHandle{}
+)
+
+// storeFor returns the result store backing p's cache directories, nil
+// when caching is off or the store cannot be opened (the sweep then
+// runs uncached, like the old best-effort disk cache).
+func storeFor(p Params) *resultstore.Store {
+	if p.CacheDir == "" {
 		return nil
+	}
+	storesMu.Lock()
+	defer storesMu.Unlock()
+	k := p.CacheDir + "\x00" + p.MirrorDir
+	h, ok := stores[k]
+	if !ok {
+		st, err := resultstore.Open(resultstore.Options{
+			Dir:     p.CacheDir,
+			Mirror:  p.MirrorDir,
+			Fault:   p.StoreFault,
+			OnEvent: storeEvent,
+		})
+		h = &storeHandle{st: st, err: err}
+		if err != nil {
+			h.st = nil
+			fmt.Fprintf(os.Stderr, "harness: result store %s unavailable (running uncached): %v\n", p.CacheDir, err)
+		}
+		stores[k] = h
+	}
+	return h.st
+}
+
+// storeEvent folds store audit events into the run metrics.
+func storeEvent(ev resultstore.Event) {
+	if ev.Op == "repair" {
+		bumpMetric(func(m *RunMetrics) { m.StoreRepairs++ })
+	}
+}
+
+// resetStores closes and forgets every open store. Called by
+// ResetMetrics (outside the metrics lock: opening a store can emit
+// events that take it).
+func resetStores() {
+	storesMu.Lock()
+	defer storesMu.Unlock()
+	for _, h := range stores {
+		if h.st != nil {
+			h.st.Close()
+		}
+	}
+	stores = map[string]*storeHandle{}
+}
+
+// storeRetryAttempts bounds the supervisor's retry-with-backoff for
+// transient store I/O errors — a storage-layer ladder distinct from the
+// safe-mode simulation retry in supervisor.go.
+const storeRetryAttempts = 3
+
+func storeRetry(op func() error) error {
+	backoff := 2 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || !resultstore.IsTransient(err) || attempt == storeRetryAttempts {
+			return err
+		}
+		bumpMetric(func(m *RunMetrics) { m.StoreRetries++ })
+		time.Sleep(backoff)
+		backoff *= 4
+	}
+}
+
+// commitStoreTx commits with bounded retry on transient I/O. Best-effort
+// beyond that: a store that cannot be written must not fail the sweep,
+// matching the old disk cache's contract.
+func commitStoreTx(tx *resultstore.Tx) {
+	if err := storeRetry(tx.Commit); err != nil {
+		fmt.Fprintf(os.Stderr, "harness: result store commit failed: %v\n", err)
+	}
+}
+
+// diskLoad returns the cached Result for the fingerprint, or nil. The
+// store verifies content checksums and heals from the mirror before the
+// payload reaches this envelope check; envelope-level mismatches (stale
+// version, fingerprint collision) quarantine the object on every side
+// so the re-simulation's rewrite is not shadowed.
+func diskLoad(st *resultstore.Store, fp string) *gpu.Result {
+	if st == nil {
+		return nil
+	}
+	key := cacheKey(fp)
+	var b []byte
+	err := storeRetry(func() error {
+		var gerr error
+		b, gerr = st.Get(resultstore.KindResult, key)
+		return gerr
+	})
+	if err != nil {
+		if !errors.Is(err, resultstore.ErrNotFound) {
+			fmt.Fprintf(os.Stderr, "harness: cache read %s: %v\n", key, err)
+		}
+		bumpMetric(func(m *RunMetrics) { m.StoreMisses++ })
+		return nil
+	}
+	reject := func(reason string) {
+		st.Quarantine(resultstore.KindResult, key, reason)
+		bumpMetric(func(m *RunMetrics) { m.StoreMisses++ })
 	}
 	var e diskEntry
 	if err := json.Unmarshal(b, &e); err != nil {
-		quarantine(path, fmt.Sprintf("corrupt JSON: %v", err))
+		reject(fmt.Sprintf("corrupt JSON: %v", err))
 		return nil
 	}
 	switch {
 	case e.Version != diskCacheVersion:
-		quarantine(path, fmt.Sprintf("stale version %d (want %d)", e.Version, diskCacheVersion))
+		reject(fmt.Sprintf("stale version %d (want %d)", e.Version, diskCacheVersion))
 	case e.Fingerprint != fp:
-		quarantine(path, "fingerprint mismatch (filename hash collision or corruption)")
+		reject("fingerprint mismatch (filename hash collision or corruption)")
 	case e.Result == nil:
-		quarantine(path, "entry has no result")
+		reject("entry has no result")
 	default:
+		bumpMetric(func(m *RunMetrics) { m.StoreHits++ })
 		return e.Result
 	}
 	return nil
-}
-
-// quarantine moves an unusable cache file aside as <name>.corrupt (so the
-// caller's re-simulation writes a fresh entry and the bad bytes remain
-// inspectable) and logs one warning line. Best-effort: if the rename
-// fails the file is removed so it cannot shadow the rewrite.
-func quarantine(path, reason string) {
-	dst := path + ".corrupt"
-	if err := os.Rename(path, dst); err != nil {
-		os.Remove(path)
-		dst = "(removed)"
-	}
-	fmt.Fprintf(os.Stderr, "harness: quarantined cache file %s -> %s: %s\n",
-		filepath.Base(path), filepath.Base(dst), reason)
-}
-
-// diskStore writes the Result for the fingerprint, creating the directory
-// if needed. Best-effort: a cache that cannot be written must not fail
-// the run, so errors are swallowed. The temp-file + rename dance keeps
-// concurrent invocations from reading torn entries.
-func diskStore(dir, fp string, res *gpu.Result) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return
-	}
-	b, err := json.Marshal(diskEntry{Version: diskCacheVersion, Fingerprint: fp, Result: res})
-	if err != nil {
-		return
-	}
-	path := diskCachePath(dir, fp)
-	tmp, err := os.CreateTemp(dir, ".vtsim-*.tmp")
-	if err != nil {
-		return
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(b)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(name)
-		return
-	}
-	if os.Rename(name, path) != nil {
-		os.Remove(name)
-	}
 }

@@ -3,13 +3,12 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/gpu"
+	"repro/internal/resultstore"
 )
 
 // Prefix-forked sweeps. Many sweep experiments run the same (kernel,
@@ -131,11 +130,10 @@ func forkPlan(p Params, jobs []job) []job {
 func forkExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result, error, int64) {
 	ce := ckEntryFor(j.prefixFP)
 	ce.once.Do(func() {
-		if p.CacheDir != "" {
-			if ck := diskLoadCheckpoint(p.CacheDir, j.prefixFP); ck != nil {
-				ce.ck = ck
-				return
-			}
+		st := storeFor(p)
+		if ck := diskLoadCheckpoint(st, j.prefixFP); ck != nil {
+			ce.ck = ck
+			return
 		}
 		spec := &forkSpec{capture: true, at: p.ForkCycle}
 		ce.res, ce.err = supervisedExecuteFork(p, j, cfg, fp, spec)
@@ -143,9 +141,7 @@ func forkExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result,
 		ce.ck = spec.captured
 		if ce.ck != nil {
 			bumpMetric(func(m *RunMetrics) { m.CheckpointsCaptured++ })
-			if p.CacheDir != "" {
-				diskStoreCheckpoint(p.CacheDir, j.prefixFP, ce.ck)
-			}
+			diskStoreCheckpoint(st, j.prefixFP, ce.ck)
 		}
 	})
 	if ce.donorFP == fp {
@@ -183,46 +179,58 @@ type ckDiskEntry struct {
 	Checkpoint  *gpu.Checkpoint `json:"checkpoint"`
 }
 
-// ckDiskPath maps a prefix fingerprint to its checkpoint file.
-func ckDiskPath(dir, prefixFP string) string {
-	return filepath.Join(dir, "vtck-"+cacheKey(prefixFP)+".json")
-}
-
 // diskLoadCheckpoint returns the persisted checkpoint for the prefix
-// fingerprint, or nil. Unusable files (torn JSON, stale envelope or
-// checkpoint version, fingerprint mismatch) are quarantined exactly like
-// corrupt result entries, and the caller falls back to a full simulation.
-func diskLoadCheckpoint(dir, prefixFP string) *gpu.Checkpoint {
-	path := ckDiskPath(dir, prefixFP)
-	b, err := os.ReadFile(path)
-	if err != nil {
+// fingerprint, or nil. The store has already verified content checksums
+// (healing from the mirror where possible); envelope-level problems
+// (stale versions, fingerprint mismatch) quarantine the object exactly
+// like corrupt result entries, and the caller falls back to a full
+// simulation.
+func diskLoadCheckpoint(st *resultstore.Store, prefixFP string) *gpu.Checkpoint {
+	if st == nil {
 		return nil
+	}
+	key := cacheKey(prefixFP)
+	var b []byte
+	err := storeRetry(func() error {
+		var gerr error
+		b, gerr = st.Get(resultstore.KindCheckpoint, key)
+		return gerr
+	})
+	if err != nil {
+		bumpMetric(func(m *RunMetrics) { m.StoreMisses++ })
+		return nil
+	}
+	reject := func(reason string) {
+		st.Quarantine(resultstore.KindCheckpoint, key, reason)
+		bumpMetric(func(m *RunMetrics) { m.StoreMisses++ })
 	}
 	var e ckDiskEntry
 	if err := json.Unmarshal(b, &e); err != nil {
-		quarantine(path, fmt.Sprintf("corrupt checkpoint JSON: %v", err))
+		reject(fmt.Sprintf("corrupt checkpoint JSON: %v", err))
 		return nil
 	}
 	switch {
 	case e.Version != diskCacheVersion:
-		quarantine(path, fmt.Sprintf("stale version %d (want %d)", e.Version, diskCacheVersion))
+		reject(fmt.Sprintf("stale version %d (want %d)", e.Version, diskCacheVersion))
 	case e.Fingerprint != prefixFP:
-		quarantine(path, "checkpoint fingerprint mismatch")
+		reject("checkpoint fingerprint mismatch")
 	case e.Checkpoint == nil:
-		quarantine(path, "entry has no checkpoint")
+		reject("entry has no checkpoint")
 	case e.Checkpoint.Version != gpu.CheckpointVersion:
-		quarantine(path, fmt.Sprintf("stale checkpoint format %d (want %d)",
+		reject(fmt.Sprintf("stale checkpoint format %d (want %d)",
 			e.Checkpoint.Version, gpu.CheckpointVersion))
 	default:
+		bumpMetric(func(m *RunMetrics) { m.StoreHits++ })
 		return e.Checkpoint
 	}
 	return nil
 }
 
-// diskStoreCheckpoint persists a checkpoint for the prefix fingerprint.
-// Best-effort, temp-file + rename, like diskStore.
-func diskStoreCheckpoint(dir, prefixFP string, ck *gpu.Checkpoint) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// diskStoreCheckpoint persists a checkpoint for the prefix fingerprint
+// as one store transaction. Best-effort beyond the bounded transient
+// retry, like result persistence.
+func diskStoreCheckpoint(st *resultstore.Store, prefixFP string, ck *gpu.Checkpoint) {
+	if st == nil {
 		return
 	}
 	b, err := json.Marshal(ckDiskEntry{
@@ -233,19 +241,7 @@ func diskStoreCheckpoint(dir, prefixFP string, ck *gpu.Checkpoint) {
 	if err != nil {
 		return
 	}
-	path := ckDiskPath(dir, prefixFP)
-	tmp, err := os.CreateTemp(dir, ".vtck-*.tmp")
-	if err != nil {
-		return
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(b)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(name)
-		return
-	}
-	if os.Rename(name, path) != nil {
-		os.Remove(name)
-	}
+	tx := st.Begin()
+	tx.Put(resultstore.KindCheckpoint, cacheKey(prefixFP), b)
+	commitStoreTx(tx)
 }

@@ -39,8 +39,22 @@ type Params struct {
 	// repeated invocations (profiling, bench re-runs, CI) skip
 	// already-simulated points. See diskcache.go. With Checkpoint set it
 	// also persists prefix checkpoints, so forked sweeps resume across
-	// processes.
+	// processes. The directory is managed by the transactional result
+	// store (internal/resultstore): results, checkpoints, and journal
+	// lines commit atomically, with end-to-end checksums; directories
+	// written by pre-store builds remain readable.
 	CacheDir string
+	// MirrorDir, when non-empty (requires CacheDir), attaches a replica
+	// directory: every store transaction applies to both sides, corrupt
+	// primary objects heal from the mirror on read, and
+	// resultstore.Repair restores either side bit-identically from the
+	// other.
+	MirrorDir string
+	// StoreFault, when non-nil, intercepts every result-store filesystem
+	// operation with an injected storage fault (crash drills and
+	// kill-point tests; see faultinject.StoreSpec). Nil in normal
+	// operation.
+	StoreFault *faultinject.StoreHook
 	// Checkpoint enables prefix-forked sweeps: jobs that differ only in
 	// parameters the simulation consumes late (the VT swap latencies)
 	// share their common prefix through a checkpoint instead of each

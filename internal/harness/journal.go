@@ -27,6 +27,11 @@ import (
 // journalVersion invalidates journals when the line format changes.
 const journalVersion = 1
 
+// JournalFileName is the journal's file name inside a cache/store
+// directory. Result-store transactions append entries under this name
+// on every replica side, so it is part of the store layout contract.
+const JournalFileName = "journal.jsonl"
+
 // JournalMeta identifies the sweep a journal belongs to. A resume whose
 // parameters produce a different meta is refused: its fingerprints would
 // not line up with the journal's entries.
@@ -106,7 +111,7 @@ func OpenJournal(path string, meta JournalMeta, resume bool) (*Journal, error) {
 			}
 			// Fresh sweep over a foreign or damaged journal: keep the old
 			// bytes inspectable, start over.
-			os.Rename(path, path+".old")
+			rotateAside(path)
 			jl.status = map[string]string{}
 			prior = false
 		}
@@ -136,9 +141,27 @@ func OpenJournal(path string, meta JournalMeta, resume bool) (*Journal, error) {
 	return jl, nil
 }
 
+// rotateAside moves a foreign or damaged journal to path+".old", or to
+// path+".old.N" for the first free N when earlier rotations already
+// took the shorter names: one rotation must never clobber another, so
+// every superseded sweep's bytes stay inspectable.
+func rotateAside(path string) {
+	dst := path + ".old"
+	for n := 1; ; n++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s.old.%d", path, n)
+	}
+	os.Rename(path, dst)
+}
+
 // writeHeader starts a fresh journal file containing only the meta line.
+// The handle is opened with O_APPEND so every later Record is a single
+// atomic append — two processes writing the same journal (the future
+// multi-worker fabric) can interleave lines but never bytes within one.
 func (jl *Journal) writeHeader(path string, meta JournalMeta) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("harness: create journal: %w", err)
 	}
@@ -199,6 +222,28 @@ func (jl *Journal) Record(e JournalEntry) {
 	}
 }
 
+// noteStatus records an entry in the in-memory status map without
+// writing the file: used when the line was already appended durably
+// through a result-store transaction (see supervisor.go journalRecord).
+func (jl *Journal) noteStatus(e JournalEntry) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	jl.status[e.FP] = e.Status
+}
+
+// EnsureJournalHeader makes path a valid journal for meta without
+// keeping it open: used to seed the mirror side's journal before store
+// transactions replicate entry lines there, so a failed-over mirror
+// directory is resumable on its own. An existing matching journal is
+// left untouched; a foreign one is rotated aside.
+func EnsureJournalHeader(path string, meta JournalMeta) error {
+	jl, err := OpenJournal(path, meta, false)
+	if err != nil {
+		return err
+	}
+	return jl.Close()
+}
+
 // Status returns the recorded status for a cache key ("" = never run).
 func (jl *Journal) Status(fpKey string) string {
 	jl.mu.Lock()
@@ -223,13 +268,15 @@ func (jl *Journal) Summary() (ok, degraded, failed int) {
 	return ok, degraded, failed
 }
 
-// Close flushes and closes the journal file.
+// Close fsyncs and closes the journal file: sweep completion is the
+// journal's durability point.
 func (jl *Journal) Close() error {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
 	if jl.f == nil {
 		return nil
 	}
+	jl.f.Sync()
 	err := jl.f.Close()
 	jl.f = nil
 	return err

@@ -94,6 +94,21 @@ type RunMetrics struct {
 	ExtrapolatedCycles int64
 	FunctionalInstrs   int64
 	MaxErrorBound      float64
+
+	// Result-store counters (Params.CacheDir/MirrorDir; see diskcache.go
+	// and internal/resultstore).
+
+	// StoreHits counts store reads that served a checksum-verified (or
+	// legacy, pre-store) payload; StoreMisses counts reads that found
+	// nothing usable, including entries quarantined on the way out.
+	StoreHits   int
+	StoreMisses int
+	// StoreRepairs counts objects healed bit-identically from a replica
+	// after a checksum mismatch; StoreRetries counts transient store I/O
+	// errors absorbed by the bounded retry-with-backoff (distinct from
+	// the supervisor's safe-mode simulation retries).
+	StoreRepairs int
+	StoreRetries int
 }
 
 type memoEntry struct {
@@ -117,9 +132,12 @@ func Metrics() RunMetrics {
 	return m
 }
 
-// ResetMetrics zeroes the work counters and empties the memo and
-// checkpoint caches.
+// ResetMetrics zeroes the work counters, empties the memo and
+// checkpoint caches, and closes any open result stores (so the next
+// cached run reopens them — index replay plus WAL recovery — exactly
+// like a fresh process).
 func ResetMetrics() {
+	resetStores()
 	memoMu.Lock()
 	defer memoMu.Unlock()
 	memoStats = RunMetrics{}
@@ -176,8 +194,8 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 		// cached hit would skip the fault, and a faulted (or degraded)
 		// outcome must never be served to an un-injected sweep.
 		injected := p.Inject != nil && p.Inject.Matches(j.workload, j.variant)
-		if p.CacheDir != "" && !injected {
-			if res := diskLoad(p.CacheDir, fp); res != nil {
+		if !injected {
+			if res := diskLoad(storeFor(p), fp); res != nil {
 				// A disk hit is a cache hit: Executed and SimCycles stay
 				// untouched, so simcycles/s reflects real simulation work.
 				e.res = res
@@ -202,9 +220,10 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 			memoStats.SimCycles += e.res.Cycles - prefix
 		}
 		memoMu.Unlock()
-		if p.CacheDir != "" && e.err == nil && !injected {
-			diskStore(p.CacheDir, fp, e.res)
-		}
+		// Persistence happens inside journalRecord (supervisor.go): the
+		// Result and its completion-journal line commit as one result-store
+		// transaction, so a crash can never record an outcome whose Result
+		// is missing, or vice versa.
 	})
 	return e.res, e.err
 }

@@ -1,0 +1,475 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/faultinject"
+	"repro/internal/gpu"
+	"repro/internal/resultstore"
+)
+
+// Harness-level drills for the transactional result store: crash-fault
+// sweeps through real memoRun/journalRecord commits, mirror repair
+// through the cache path, and the journal's rotation and concurrent-
+// append contracts. The store's own kill-point property test lives in
+// internal/resultstore; these tests prove the same guarantees hold
+// end-to-end through the harness.
+
+// TestJournalRotateNoClobber is the regression test for the rotation
+// clobbering bug: two successive foreign-journal rotations used to both
+// target path+".old", silently destroying the first superseded sweep's
+// bytes. Every rotation must land on a fresh name.
+func TestJournalRotateNoClobber(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	open := func(scale int) {
+		jl, err := OpenJournal(path, JournalMeta{Scale: scale, Dilute: 60, Config: "small"}, false)
+		if err != nil {
+			t.Fatalf("open scale=%d: %v", scale, err)
+		}
+		jl.Record(JournalEntry{FP: fmt.Sprintf("fp-scale-%d", scale), Status: "ok", Attempts: 1})
+		jl.Close()
+	}
+	open(1) // original sweep
+	open(2) // foreign: rotates scale=1 to .old
+	open(3) // foreign again: must NOT clobber .old
+
+	wantScale := func(p string, scale int) {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("rotated journal missing: %v", err)
+		}
+		want := fmt.Sprintf(`"scale":%d`, scale)
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("%s does not hold the scale=%d sweep:\n%s", p, scale, b)
+		}
+	}
+	wantScale(path+".old", 1)
+	wantScale(path+".old.1", 2)
+	wantScale(path, 3)
+}
+
+// TestJournalConcurrentAppendsNoInterleave opens the same journal from
+// two handles (two simulated processes sharing a store directory) and
+// hammers Record from both: O_APPEND single-write appends may interleave
+// lines but must never interleave bytes within one, so every line must
+// parse as a complete entry from exactly one writer.
+func TestJournalConcurrentAppendsNoInterleave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	meta := JournalMeta{Scale: 1, Dilute: 60, Config: "small"}
+	a, err := OpenJournal(path, meta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenJournal(path, meta, false) // loads the matching header, appends
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for _, w := range []struct {
+		jl  *Journal
+		tag string
+	}{{a, "aaaa"}, {b, "bbbb"}} {
+		wg.Add(1)
+		go func(jl *Journal, tag string) {
+			defer wg.Done()
+			// A long recognizable payload makes any byte interleaving
+			// corrupt the JSON or pollute the tag.
+			filler := strings.Repeat(tag, 100)
+			for i := 0; i < perWriter; i++ {
+				jl.Record(JournalEntry{
+					FP: fmt.Sprintf("%s-%03d", tag, i), Workload: "vecadd",
+					Status: "ok", Attempts: 1, Error: filler,
+				})
+			}
+		}(w.jl, w.tag)
+	}
+	wg.Wait()
+	a.Close()
+	b.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 1+2*perWriter {
+		t.Fatalf("journal holds %d lines, want header + %d entries", len(lines), 2*perWriter)
+	}
+	for i, ln := range lines[1:] {
+		var e JournalEntry
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d is not one complete entry (byte interleaving?): %v\n%s", i+1, err, ln)
+		}
+		tag := e.FP[:4]
+		if tag != "aaaa" && tag != "bbbb" {
+			t.Fatalf("line %d carries a mixed fp %q", i+1, e.FP)
+		}
+		if e.Error != strings.Repeat(tag, 100) {
+			t.Fatalf("line %d mixes payloads from both writers", i+1)
+		}
+	}
+}
+
+// drillJobs is the crash-drill sweep shape: one workload under two
+// policies, heavily diluted, with distinct fingerprints.
+func drillJobs() (Params, []job) {
+	p := Params{Scale: 1, Config: config.Small(), Dilute: 60}
+	jobs := policyJobs([]string{"vecadd"},
+		[]config.Policy{config.PolicyBaseline, config.PolicyVT})
+	return p, jobs
+}
+
+// drillKeys returns the cache keys (journal FPs) of the drill jobs.
+func drillKeys(t *testing.T, p Params, jobs []job) []string {
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		cfg := p.Config
+		j.mutate(&cfg)
+		fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg, p.Sampling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = cacheKey(fp)
+	}
+	return keys
+}
+
+// journalOKSet parses a journal file and returns the FPs whose latest
+// recorded status is "ok". Duplicate lines (the store's at-least-once
+// append replay after roll-forward recovery) collapse naturally.
+func journalOKSet(t *testing.T, path string) map[string]bool {
+	out := map[string]bool{}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out
+		}
+		t.Fatal(err)
+	}
+	for _, ln := range strings.Split(string(raw), "\n") {
+		var e JournalEntry
+		if json.Unmarshal([]byte(ln), &e) != nil || e.FP == "" {
+			continue
+		}
+		if e.Status == "ok" {
+			out[e.FP] = true
+		} else {
+			delete(out, e.FP)
+		}
+	}
+	return out
+}
+
+// runDrillSweep executes the drill jobs sequentially through memoRun
+// under the given Params, stopping at a simulated process death
+// (*faultinject.StoreKill) like a real crash would. Returns whether the
+// sweep was killed and the per-job results gathered before death.
+func runDrillSweep(t *testing.T, p Params, jobs []job) (killed bool, results []*gpu.Result) {
+	results = make([]*gpu.Result, len(jobs))
+	for i, j := range jobs {
+		res, died := func() (r *gpu.Result, died bool) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(*faultinject.StoreKill); ok {
+						died = true
+						return
+					}
+					panic(rec)
+				}
+			}()
+			r, err := memoRun(p, j)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", j.workload, j.variant, err)
+			}
+			return r, false
+		}()
+		if died {
+			return true, results
+		}
+		results[i] = res
+	}
+	return false, results
+}
+
+// TestStoreCrashDrillResume is the satellite-3 property test, end to end
+// through the harness: enumerate every store filesystem operation of a
+// two-job journaled sweep commit sequence, then re-run the sweep once
+// per operation with a kill injected exactly there. After every kill,
+// reopening the store recovers to a consistent state (Verify clean, a
+// journal "ok" line if and only if its Result is servable) and -resume
+// re-executes exactly the jobs whose commits had not landed.
+func TestStoreCrashDrillResume(t *testing.T) {
+	defer ResetMetrics()
+	base, jobs := drillJobs()
+	keys := drillKeys(t, base, jobs)
+
+	// Reference results from an uncached clean sweep.
+	ResetMetrics()
+	_, refs := runDrillSweep(t, base, jobs)
+
+	// Pass 1: record the operation trace of a clean cached sweep.
+	recorder := faultinject.NewStoreRecorder()
+	rp := base
+	rp.CacheDir = filepath.Join(t.TempDir(), "primary")
+	rp.MirrorDir = filepath.Join(t.TempDir(), "mirror")
+	rp.StoreFault = recorder
+	ResetMetrics()
+	runJournaled := func(p Params, resume bool) (killed bool, res []*gpu.Result) {
+		jl, err := OpenJournal(filepath.Join(p.CacheDir, JournalFileName),
+			JournalMeta{Scale: p.Scale, Dilute: p.Dilute, Config: "small"}, resume)
+		if err != nil {
+			t.Fatalf("open journal (resume=%v): %v", resume, err)
+		}
+		defer jl.Close()
+		p.Journal = jl
+		p.Resume = resume
+		return runDrillSweep(t, p, jobs)
+	}
+	runJournaled(rp, false)
+	trace := recorder.Trace()
+	if len(trace) < 15 {
+		t.Fatalf("trace too short to be a real commit sequence (%d ops):\n%s",
+			len(trace), strings.Join(trace, "\n"))
+	}
+
+	kinds := []faultinject.StoreFaultKind{
+		faultinject.StoreCrash, faultinject.StoreCrashAfter, faultinject.StoreTruncate,
+	}
+	for point := 0; point < len(trace); point++ {
+		kind := kinds[point%len(kinds)]
+		t.Run(fmt.Sprintf("op%02d-%s", point, kind), func(t *testing.T) {
+			p := base
+			p.CacheDir = filepath.Join(t.TempDir(), "primary")
+			p.MirrorDir = filepath.Join(t.TempDir(), "mirror")
+			spec := faultinject.StoreSpec{Op: faultinject.StoreOpAny, N: point, Kind: kind}
+			hook := spec.StoreHook()
+			p.StoreFault = hook
+
+			ResetMetrics()
+			killed, _ := runJournaled(p, false)
+			if !killed || !hook.Fired() {
+				t.Fatalf("kill point %d did not fire (killed=%v fired=%v)", point, killed, hook.Fired())
+			}
+
+			// Reboot: drop every in-process cache and handle, then validate
+			// the recovered on-disk state directly.
+			ResetMetrics()
+			st, err := resultstore.Open(resultstore.Options{Dir: p.CacheDir, Mirror: p.MirrorDir})
+			if err != nil {
+				t.Fatalf("reopen after kill: %v", err)
+			}
+			okSet := journalOKSet(t, filepath.Join(p.CacheDir, JournalFileName))
+			for i, k := range keys {
+				_, gerr := st.Get(resultstore.KindResult, k)
+				if okSet[k] && gerr != nil {
+					t.Errorf("job %d: journal says ok but the Result is not servable: %v", i, gerr)
+				}
+				if !okSet[k] && gerr == nil {
+					t.Errorf("job %d: Result cached but the journal never heard of it", i)
+				}
+			}
+			rep := st.Verify()
+			if len(rep.Damaged) > 0 || len(rep.Unrecoverable) > 0 {
+				t.Fatalf("store inconsistent after recovery: %+v", rep)
+			}
+			st.Close()
+			if t.Failed() {
+				return
+			}
+
+			// Resume: exactly the uncommitted jobs re-execute, and the sweep
+			// converges to the reference results with every job journaled ok.
+			committed := 0
+			for _, k := range keys {
+				if okSet[k] {
+					committed++
+				}
+			}
+			ResetMetrics()
+			p.StoreFault = nil
+			p.Resume = true
+			killed, res := runJournaled(p, true)
+			if killed {
+				t.Fatal("resume sweep died with no fault installed")
+			}
+			if m := Metrics(); m.Executed != len(jobs)-committed {
+				t.Fatalf("resume executed %d jobs, want exactly the %d uncommitted ones (metrics %+v)",
+					m.Executed, len(jobs)-committed, m)
+			}
+			for i := range jobs {
+				if !reflect.DeepEqual(res[i], refs[i]) {
+					t.Fatalf("job %d: resumed result differs from the reference run", i)
+				}
+			}
+			finalOK := journalOKSet(t, filepath.Join(p.CacheDir, JournalFileName))
+			for i, k := range keys {
+				if !finalOK[k] {
+					t.Fatalf("job %d missing from the journal after resume", i)
+				}
+			}
+		})
+	}
+}
+
+// TestHarnessMirrorRepair drives replication and heal-on-read through
+// the cache path: a journaled run replicates its Result and journal
+// line to the mirror; at-rest corruption of the primary object is then
+// healed bit-identically during an ordinary cached sweep.
+func TestHarnessMirrorRepair(t *testing.T) {
+	defer ResetMetrics()
+	p, jobs := drillJobs()
+	j := jobs[0]
+	p.CacheDir = filepath.Join(t.TempDir(), "primary")
+	p.MirrorDir = filepath.Join(t.TempDir(), "mirror")
+
+	ResetMetrics()
+	jl, err := OpenJournal(filepath.Join(p.CacheDir, JournalFileName),
+		JournalMeta{Scale: p.Scale, Dilute: p.Dilute, Config: "small"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Journal = jl
+	fresh, err := memoRun(p, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+
+	// The Result object and the journal entry line replicated.
+	primObjs, _ := filepath.Glob(filepath.Join(p.CacheDir, "vtsim-*.json"))
+	if len(primObjs) != 1 {
+		t.Fatalf("primary holds %d result objects, want 1", len(primObjs))
+	}
+	mirObj := filepath.Join(p.MirrorDir, filepath.Base(primObjs[0]))
+	pb, err := os.ReadFile(primObjs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := os.ReadFile(mirObj)
+	if err != nil {
+		t.Fatalf("mirror replica missing: %v", err)
+	}
+	if string(pb) != string(mb) {
+		t.Fatal("mirror replica is not bit-identical to the primary object")
+	}
+	key := drillKeys(t, p, jobs)[0]
+	if ok := journalOKSet(t, filepath.Join(p.MirrorDir, JournalFileName)); !ok[key] {
+		t.Fatal("journal entry line did not replicate to the mirror")
+	}
+
+	// Flip a byte of the primary at rest; the next cached sweep must heal
+	// it from the mirror and serve the verified payload without
+	// re-simulating.
+	flipped := append([]byte(nil), pb...)
+	flipped[len(flipped)/2] ^= 0x04
+	if err := os.WriteFile(primObjs[0], flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetMetrics()
+	p.Journal = nil
+	cached, err := memoRun(p, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics()
+	if m.Executed != 0 || m.StoreHits != 1 || m.StoreRepairs != 1 {
+		t.Fatalf("corruption was not healed as a cache hit: %+v", m)
+	}
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Fatal("healed result differs from the original")
+	}
+	healed, err := os.ReadFile(primObjs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(healed) != string(mb) {
+		t.Fatal("repair did not restore the primary bit-identically from the mirror")
+	}
+}
+
+// TestHarnessLegacyCacheDirCompat seeds a cache directory the way
+// pre-store builds laid it out — a bare vtsim-<key>.json with no
+// .vtstore metadata — and verifies the migrated harness serves it as a
+// hit.
+func TestHarnessLegacyCacheDirCompat(t *testing.T) {
+	defer ResetMetrics()
+	p, jobs := drillJobs()
+	j := jobs[0]
+	p.CacheDir = t.TempDir()
+
+	ResetMetrics()
+	fresh, err := memoRun(p, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(p.CacheDir, "vtsim-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("cache dir holds %d entries, want 1", len(files))
+	}
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(legacyDir, filepath.Base(files[0])), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ResetMetrics()
+	p.CacheDir = legacyDir
+	cached, err := memoRun(p, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := Metrics(); m.Executed != 0 || m.StoreHits != 1 {
+		t.Fatalf("legacy entry not served as a hit: %+v", m)
+	}
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Fatal("legacy round-trip altered the result")
+	}
+}
+
+// TestHarnessTransientStoreRetry injects a one-shot EIO into the first
+// store write of a cached run: the bounded retry-with-backoff must
+// absorb it (counted in StoreRetries), the commit must land, and a
+// fresh invocation must hit the cache.
+func TestHarnessTransientStoreRetry(t *testing.T) {
+	defer ResetMetrics()
+	p, jobs := drillJobs()
+	j := jobs[0]
+	p.CacheDir = t.TempDir()
+	spec := faultinject.StoreSpec{Op: faultinject.StoreOpWrite, N: 0, Kind: faultinject.StoreEIO}
+	hook := spec.StoreHook()
+	p.StoreFault = hook
+
+	ResetMetrics()
+	if _, err := memoRun(p, j); err != nil {
+		t.Fatal(err)
+	}
+	if m := Metrics(); m.StoreRetries != 1 {
+		t.Fatalf("transient EIO not absorbed by the retry ladder: %+v", m)
+	}
+	if !hook.Fired() {
+		t.Fatal("injected EIO never fired")
+	}
+
+	ResetMetrics()
+	p.StoreFault = nil
+	if _, err := memoRun(p, j); err != nil {
+		t.Fatal(err)
+	}
+	if m := Metrics(); m.Executed != 0 || m.StoreHits != 1 {
+		t.Fatalf("retried commit did not land: %+v", m)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/resultstore"
 	"repro/internal/telemetry"
 )
 
@@ -300,30 +301,67 @@ func supervisedExecuteFork(p Params, j job, cfg config.GPUConfig, fp string, spe
 	return nil, &FailedRunError{Failure: f}
 }
 
-// journalRecord appends the run's outcome to the completion journal, when
-// one is attached and the run was fingerprintable.
+// journalRecord persists one fingerprintable run's outcome. With a
+// result store attached (Params.CacheDir), the memoized Result and the
+// completion-journal line commit as a single store transaction —
+// all-or-nothing, replicated to the mirror, retried with backoff on
+// transient I/O — so a crash can never leave a journal entry whose
+// Result is missing or a cached Result the journal never heard of.
+// Without a store, the journal line is appended directly as before.
 func (p Params) journalRecord(j job, fp, status string, attempts int, res *gpu.Result, err error, forkedFrom string) {
-	if p.Journal == nil || fp == "" {
+	if fp == "" {
 		return
 	}
-	e := JournalEntry{
-		FP:         cacheKey(fp),
-		Workload:   j.workload,
-		Variant:    j.variant,
-		Status:     status,
-		Attempts:   attempts,
-		ForkedFrom: forkedFrom,
+	var entry *JournalEntry
+	if p.Journal != nil {
+		e := JournalEntry{
+			FP:         cacheKey(fp),
+			Workload:   j.workload,
+			Variant:    j.variant,
+			Status:     status,
+			Attempts:   attempts,
+			ForkedFrom: forkedFrom,
+			Time:       time.Now().UTC().Format(time.RFC3339),
+		}
+		if res != nil {
+			e.Cycles = res.Cycles
+			if res.Sampling != nil {
+				e.ErrorBound = res.Sampling.ErrorBound
+			}
+		}
+		if err != nil {
+			e.Error = err.Error()
+		}
+		entry = &e
 	}
-	if res != nil {
-		e.Cycles = res.Cycles
-		if res.Sampling != nil {
-			e.ErrorBound = res.Sampling.ErrorBound
+	st := storeFor(p)
+	// Faulted (or degraded-by-injection) outcomes must never be served to
+	// an un-injected sweep, so injected runs journal but never cache.
+	injected := p.Inject != nil && p.Inject.Matches(j.workload, j.variant)
+	storeResult := st != nil && res != nil && status != "failed" && !injected
+	if st == nil || (!storeResult && entry == nil) {
+		if entry != nil {
+			p.Journal.Record(*entry)
+		}
+		return
+	}
+	tx := st.Begin()
+	if storeResult {
+		if b, merr := json.Marshal(diskEntry{Version: diskCacheVersion, Fingerprint: fp, Result: res}); merr == nil {
+			tx.Put(resultstore.KindResult, cacheKey(fp), b)
 		}
 	}
-	if err != nil {
-		e.Error = err.Error()
+	if entry != nil {
+		if b, merr := json.Marshal(entry); merr == nil {
+			tx.Append(JournalFileName, b)
+		}
 	}
-	p.Journal.Record(e)
+	commitStoreTx(tx)
+	if entry != nil {
+		// The line is durable (or best-effort failed) via the transaction;
+		// only the in-memory status map still needs the update.
+		p.Journal.noteStatus(*entry)
+	}
 }
 
 // writeBundle persists a repro bundle into dir as one pretty-printed JSON

@@ -1,0 +1,150 @@
+package resultstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// The kill-point property test: enumerate every filesystem operation a
+// representative transaction performs (staged writes, the redo record,
+// the commit-point rename, apply renames, index and journal appends,
+// and mirror replication), then re-run the same transaction once per
+// operation with a randomized crash fault injected exactly there.
+// Reopening the directories afterwards must always yield a valid store
+// in which the transaction is either fully visible or fully absent —
+// the all-or-nothing claim, proven at every point a process can die.
+
+var (
+	killBasePayload = []byte(`{"base":"committed before the drill"}`)
+	killPayloadA    = []byte(strings.Repeat(`{"job":"a"}`, 30))
+	killBlobB       = []byte(strings.Repeat("telemetry-ring-bytes-", 40)) // ~840 B -> 4 segments at 256
+	killLineB       = []byte(`{"fp":"job-b","status":"ok"}`)
+)
+
+// killDrillCommit runs the drill's target transaction against s.
+func killDrillCommit(t *testing.T, s *Store) error {
+	t.Helper()
+	tx := s.Begin()
+	tx.Put(KindResult, "job-a", killPayloadA)
+	if err := tx.PutBlob(KindArtifact, "job-b", bytes.NewReader(killBlobB)); err != nil {
+		t.Fatalf("put blob: %v", err)
+	}
+	tx.Append("journal.jsonl", killLineB)
+	return tx.Commit()
+}
+
+// killDrillBase seeds a committed object so every kill point also
+// checks that prior state survives untouched.
+func killDrillBase(t *testing.T, p, m string) {
+	t.Helper()
+	s := mustOpen(t, Options{Dir: p, Mirror: m, SegmentSize: 256})
+	tx := s.Begin()
+	tx.Put(KindResult, "base", killBasePayload)
+	tx.Append("journal.jsonl", []byte(`{"fp":"base","status":"ok"}`))
+	mustCommit(t, tx)
+	s.Close()
+}
+
+func TestKillPointAllOrNothing(t *testing.T) {
+	// Pass 1: record the operation trace of a clean run of the drill.
+	p, m := t.TempDir(), t.TempDir()
+	killDrillBase(t, p, m)
+	rec := faultinject.NewStoreRecorder()
+	s := mustOpen(t, Options{Dir: p, Mirror: m, SegmentSize: 256, Fault: rec})
+	if err := killDrillCommit(t, s); err != nil {
+		t.Fatalf("clean drill commit: %v", err)
+	}
+	trace := rec.Trace()
+	if len(trace) < 15 {
+		t.Fatalf("suspiciously short op trace (%d ops): %v", len(trace), trace)
+	}
+
+	// Pass 2: one subtest per operation, crash kind randomized but
+	// deterministic per point.
+	kinds := []faultinject.StoreFaultKind{
+		faultinject.StoreCrash, faultinject.StoreCrashAfter, faultinject.StoreTruncate,
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := range trace {
+		kind := kinds[rng.Intn(len(kinds))]
+		opName := strings.Fields(trace[i])[0]
+		t.Run(fmt.Sprintf("op%02d-%s-%s", i, opName, kind), func(t *testing.T) {
+			runKillPoint(t, i, kind)
+		})
+	}
+}
+
+func runKillPoint(t *testing.T, point int, kind faultinject.StoreFaultKind) {
+	p, m := t.TempDir(), t.TempDir()
+	killDrillBase(t, p, m)
+	hook := (&faultinject.StoreSpec{Op: faultinject.StoreOpAny, N: point, Kind: kind}).StoreHook()
+	s := mustOpen(t, Options{Dir: p, Mirror: m, SegmentSize: 256, Fault: hook})
+	killed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*faultinject.StoreKill); !ok {
+					panic(r)
+				}
+				killed = true
+			}
+		}()
+		if err := killDrillCommit(t, s); err != nil {
+			t.Errorf("commit returned error instead of dying: %v", err)
+		}
+	}()
+	if !killed || !hook.Fired() {
+		t.Fatalf("kill fault did not fire (killed=%v fired=%v)", killed, hook.Fired())
+	}
+
+	// Simulated reboot: abandon the dead instance, reopen and recover.
+	s2 := mustOpen(t, Options{Dir: p, Mirror: m, SegmentSize: 256})
+
+	// Prior committed state is untouched.
+	if b, err := s2.Get(KindResult, "base"); err != nil || !bytes.Equal(b, killBasePayload) {
+		t.Fatalf("pre-existing object damaged by crash at point %d: %v", point, err)
+	}
+
+	// All-or-nothing: the plain object, the blob, and the journal line
+	// agree — all present with exact bytes, or all absent.
+	aGot, aErr := s2.Get(KindResult, "job-a")
+	bGot, bErr := s2.GetBlob(KindArtifact, "job-b")
+	journal, _ := os.ReadFile(filepath.Join(p, "journal.jsonl"))
+	lineVisible := strings.Contains(string(journal), `"fp":"job-b"`)
+	committed := aErr == nil
+	if aErr != nil && !errors.Is(aErr, ErrNotFound) {
+		t.Fatalf("get job-a: %v", aErr)
+	}
+	if committed && !bytes.Equal(aGot, killPayloadA) {
+		t.Fatalf("committed object has wrong bytes")
+	}
+	if (bErr == nil) != committed {
+		t.Fatalf("torn transaction: object committed=%v but blob err=%v", committed, bErr)
+	}
+	if committed && !bytes.Equal(bGot, killBlobB) {
+		t.Fatalf("committed blob has wrong bytes")
+	}
+	if lineVisible != committed {
+		t.Fatalf("torn transaction: object committed=%v but journal line visible=%v", committed, lineVisible)
+	}
+
+	// The recovered store audits clean: nothing damaged, nothing torn.
+	if rep := s2.Verify(); len(rep.Damaged) != 0 || len(rep.Unrecoverable) != 0 {
+		t.Fatalf("verify after recovery: %+v", rep)
+	}
+
+	// Recovery is idempotent: a second reopen changes nothing.
+	s3 := mustOpen(t, Options{Dir: p, Mirror: m, SegmentSize: 256})
+	aGot2, aErr2 := s3.Get(KindResult, "job-a")
+	if (aErr2 == nil) != committed || (committed && !bytes.Equal(aGot2, killPayloadA)) {
+		t.Fatalf("second recovery changed visibility: committed=%v err=%v", committed, aErr2)
+	}
+}

@@ -1,0 +1,401 @@
+// Package resultstore is a content-addressed, transactional object store
+// with primary+mirror replication for the harness's durable state:
+// memoized run results (vtsim), prefix checkpoints (vtck), completion
+// journal lines, and large artifacts (vtart) stored as checksummed
+// value segments.
+//
+// # Layout (per side directory)
+//
+//	vtsim-<key>.json            plain object (legacy-compatible name)
+//	vtck-<key>.json             plain object (legacy-compatible name)
+//	vtart-<key>.json            segmented object head
+//	vtart-<key>.json.seg<N>     value segments of a segmented object
+//	journal.jsonl               completion journal (appended through txs)
+//	store-index.jsonl           append-only object index: key -> checksum
+//	store-audit.jsonl           append-only audit log of store events
+//	.vtstore/wal/               redo + commit records
+//	.vtstore/staging/           staged payloads awaiting commit
+//
+// Object files keep the exact names the pre-store disk cache used, so a
+// directory written by an older build opens unchanged: files present on
+// disk but absent from store-index.jsonl are "legacy" objects, served
+// without checksum verification (the caller's envelope validation still
+// applies). Everything the store adds lives in files that do not match
+// the historical vtsim-*.json / vtck-*.json globs.
+//
+// # Commit protocol
+//
+// A transaction's puts are staged (write + read-back checksum verify +
+// fsync) under .vtstore/staging, then a manifest listing every operation
+// is written and fsynced as .vtstore/wal/<tx>.redo. The atomic rename of
+// <tx>.redo to <tx>.commit is the commit point. After it, the manifest
+// is applied: staged files rename to their final object names, journal
+// lines append, index lines append, and the same operations replicate to
+// the mirror; the commit record is then deleted. Open() recovers both
+// directions: a surviving .redo rolls back (delete staged files and the
+// record — the transaction never happened), a surviving .commit rolls
+// forward idempotently (appends are at-least-once; all line-oriented
+// readers in this codebase dedupe by key). A crash at any single point
+// therefore yields either the full transaction or none of it.
+//
+// The store serializes commits internally and assumes a single process
+// per directory pair (the sweep harness); multi-process coordination is
+// the planned vtsweepd's job, one layer up.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Kind names an object class; it is also the on-disk filename prefix,
+// chosen to match the pre-store cache file names exactly.
+type Kind string
+
+const (
+	// KindResult is a memoized run result (vtsim-<key>.json).
+	KindResult Kind = "vtsim"
+	// KindCheckpoint is a prefix checkpoint envelope (vtck-<key>.json).
+	KindCheckpoint Kind = "vtck"
+	// KindArtifact is a large artifact (Perfetto trace, telemetry ring
+	// dump) stored as a segmented blob under vtart-<key>.json[.segN].
+	KindArtifact Kind = "vtart"
+)
+
+// ErrNotFound reports that no readable copy of an object exists on any
+// healthy side. Corrupt copies with no healthy replica have been
+// quarantined by the time Get returns this.
+var ErrNotFound = errors.New("resultstore: object not found")
+
+const (
+	vtstoreDir = ".vtstore"
+	indexFile  = "store-index.jsonl"
+	auditFile  = "store-audit.jsonl"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the primary store directory (required). A pre-existing plain
+	// cache directory is valid: its files open as legacy objects.
+	Dir string
+	// Mirror, when non-empty, attaches a replica directory: transactions
+	// apply to both sides, reads fail over, and Repair copies between
+	// them.
+	Mirror string
+	// SegmentSize bounds one value segment of a blob put; 0 means 1 MiB.
+	SegmentSize int
+	// Fault, when non-nil, intercepts every filesystem operation of this
+	// store instance (crash drills and kill-point sweeps).
+	Fault *faultinject.StoreHook
+	// OnEvent, when non-nil, observes every audit event (repair,
+	// quarantine, failover, rollback, ...). Called with the store lock
+	// held; must not call back into the store.
+	OnEvent func(Event)
+}
+
+// Event is one audit-log record.
+type Event struct {
+	Time   string `json:"time"`
+	Op     string `json:"op"`
+	Kind   string `json:"kind,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Side   string `json:"side,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Counters is a snapshot of the store's operation counters.
+type Counters struct {
+	Gets             int64
+	Hits             int64
+	LegacyHits       int64
+	Misses           int64
+	Commits          int64
+	Repairs          int64
+	Quarantines      int64
+	FailoverReads    int64
+	RecoveredCommits int64
+	RolledBack       int64
+}
+
+// indexEntry is one store-index.jsonl line: the authoritative checksum
+// for an object on that side. Later lines win; Drop lines delete.
+type indexEntry struct {
+	Kind string `json:"kind"`
+	Key  string `json:"key"`
+	SHA  string `json:"sha256,omitempty"`
+	Size int64  `json:"size,omitempty"`
+	Segs int    `json:"segs,omitempty"`
+	Tx   string `json:"tx,omitempty"`
+	Drop bool   `json:"drop,omitempty"`
+}
+
+type objKey struct {
+	kind Kind
+	key  string
+}
+
+// side is one replica directory.
+type side struct {
+	dir    string
+	failed bool
+	index  map[objKey]indexEntry
+}
+
+// Store is a transactional, replicated object store over one or two
+// directories. Safe for concurrent use; storage never sits on the
+// simulation hot path, so a single store-wide mutex suffices.
+type Store struct {
+	mu       sync.Mutex
+	fs       fsio
+	sides    []*side
+	segSize  int
+	txSeq    int64
+	counters Counters
+	onEvent  func(Event)
+}
+
+// Open opens (creating if needed) the store over Dir and, optionally,
+// Mirror, and runs crash recovery on both sides' write-ahead logs before
+// returning.
+func Open(o Options) (*Store, error) {
+	if o.Dir == "" {
+		return nil, errors.New("resultstore: Dir is required")
+	}
+	segSize := o.SegmentSize
+	if segSize <= 0 {
+		segSize = 1 << 20
+	}
+	s := &Store{fs: fsio{hook: o.Fault}, segSize: segSize, onEvent: o.OnEvent}
+	dirs := []string{o.Dir}
+	if o.Mirror != "" {
+		dirs = append(dirs, o.Mirror)
+	}
+	for _, d := range dirs {
+		for _, sub := range []string{d, filepath.Join(d, vtstoreDir, "wal"), filepath.Join(d, vtstoreDir, "staging")} {
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				return nil, fmt.Errorf("resultstore: create %s: %w", sub, err)
+			}
+		}
+		s.sides = append(s.sides, &side{dir: d, index: map[objKey]indexEntry{}})
+	}
+	for _, sd := range s.sides {
+		if err := s.recoverSide(sd); err != nil {
+			return nil, err
+		}
+	}
+	for _, sd := range s.sides {
+		s.loadIndex(sd)
+	}
+	return s, nil
+}
+
+// Close releases the store. The store holds no long-lived file handles,
+// so this only exists for API symmetry with future remote backends.
+func (s *Store) Close() error { return nil }
+
+// Dir returns the primary directory the store was opened over.
+func (s *Store) Dir() string { return s.sides[0].dir }
+
+// Counters returns a snapshot of the operation counters.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// IsTransient reports whether err looks like a transient I/O failure
+// worth a bounded retry (as opposed to corruption or absence).
+func IsTransient(err error) bool {
+	return errors.Is(err, faultinject.ErrInjectedIO) ||
+		errors.Is(err, syscall.EIO) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EINTR)
+}
+
+// sumHex is the store's end-to-end content checksum.
+func sumHex(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// objPath names an object's head file on a side, matching the pre-store
+// cache layout exactly.
+func (s *Store) objPath(sd *side, kind Kind, key string) string {
+	return filepath.Join(sd.dir, fmt.Sprintf("%s-%s.json", kind, key))
+}
+
+// segPath names the i-th value segment of a segmented object.
+func segPath(head string, i int) string {
+	return fmt.Sprintf("%s.seg%d", head, i)
+}
+
+// roleOf labels a side for events and reports.
+func (s *Store) roleOf(sd *side) string {
+	if len(s.sides) > 0 && s.sides[0] == sd {
+		return "primary"
+	}
+	return "mirror"
+}
+
+// serving returns the first healthy side (nil if every side failed).
+func (s *Store) serving() *side {
+	for _, sd := range s.sides {
+		if !sd.failed {
+			return sd
+		}
+	}
+	return nil
+}
+
+// otherHealthy returns a healthy side other than sd, if any.
+func (s *Store) otherHealthy(sd *side) *side {
+	for _, o := range s.sides {
+		if o != sd && !o.failed {
+			return o
+		}
+	}
+	return nil
+}
+
+// event appends to the serving side's audit log (best-effort, outside
+// the fault hook so audit writes never become kill points) and notifies
+// the OnEvent observer. Callers hold s.mu.
+func (s *Store) event(ev Event) {
+	ev.Time = time.Now().UTC().Format(time.RFC3339)
+	if s.onEvent != nil {
+		s.onEvent(ev)
+	}
+	sd := s.serving()
+	if sd == nil {
+		sd = s.sides[0]
+	}
+	b, err := json.Marshal(&ev)
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(sd.dir, auditFile), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	f.Write(append(b, '\n'))
+	f.Close()
+}
+
+// appendIndex durably appends one index line on a side and updates its
+// in-memory index. Callers hold s.mu.
+func (s *Store) appendIndex(sd *side, e indexEntry) error {
+	b, err := json.Marshal(&e)
+	if err != nil {
+		return err
+	}
+	if err := retryOnce(func() error {
+		return s.fs.appendFile(filepath.Join(sd.dir, indexFile), b)
+	}); err != nil {
+		return err
+	}
+	k := objKey{Kind(e.Kind), e.Key}
+	if e.Drop {
+		delete(sd.index, k)
+	} else {
+		sd.index[k] = e
+	}
+	return nil
+}
+
+// loadIndex replays a side's store-index.jsonl into memory. Torn or
+// unparseable lines are skipped (an object whose index line was lost
+// degrades to legacy: readable, unverified).
+func (s *Store) loadIndex(sd *side) {
+	b, err := os.ReadFile(filepath.Join(sd.dir, indexFile))
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e indexEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.Kind == "" || e.Key == "" {
+			continue
+		}
+		k := objKey{Kind(e.Kind), e.Key}
+		if e.Drop {
+			delete(sd.index, k)
+		} else {
+			sd.index[k] = e
+		}
+	}
+}
+
+// recoverSide replays a side's write-ahead log: .redo records roll back
+// (the commit point was never reached), .commit records roll forward
+// idempotently. Stray staged files with no surviving record are removed.
+func (s *Store) recoverSide(sd *side) error {
+	walDir := filepath.Join(sd.dir, vtstoreDir, "wal")
+	stagingDir := filepath.Join(sd.dir, vtstoreDir, "staging")
+	ents, err := os.ReadDir(walDir)
+	if err != nil {
+		return fmt.Errorf("resultstore: read wal %s: %w", walDir, err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, de := range ents {
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	deferred := false
+	for _, name := range names {
+		full := filepath.Join(walDir, name)
+		switch {
+		case strings.HasSuffix(name, ".redo"):
+			txid := strings.TrimSuffix(name, ".redo")
+			if staged, err := filepath.Glob(filepath.Join(stagingDir, txid+"-*")); err == nil {
+				for _, sp := range staged {
+					os.Remove(sp)
+				}
+			}
+			os.Remove(full)
+			s.counters.RolledBack++
+			s.event(Event{Op: "rollback", Side: s.roleOf(sd), Detail: txid})
+		case strings.HasSuffix(name, ".commit"):
+			b, rerr := os.ReadFile(full)
+			var m manifest
+			if rerr != nil || json.Unmarshal(b, &m) != nil || m.Tx == "" {
+				os.Rename(full, full+".corrupt")
+				s.event(Event{Op: "wal-corrupt", Side: s.roleOf(sd), Detail: name})
+				continue
+			}
+			ok := s.applyManifest(sd, &m)
+			if other := s.otherHealthy(sd); ok && other != nil {
+				ok = s.replicate(sd, other, &m)
+			}
+			if ok {
+				os.Remove(full)
+				s.counters.RecoveredCommits++
+				s.event(Event{Op: "recover-commit", Side: s.roleOf(sd), Detail: m.Tx})
+			} else {
+				deferred = true
+				s.event(Event{Op: "recover-deferred", Side: s.roleOf(sd), Detail: m.Tx})
+			}
+		}
+	}
+	if !deferred {
+		if staged, err := filepath.Glob(filepath.Join(stagingDir, "*")); err == nil {
+			for _, sp := range staged {
+				os.Remove(sp)
+			}
+		}
+	}
+	return nil
+}

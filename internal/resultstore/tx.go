@@ -1,0 +1,315 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// manifest is one transaction's redo record: everything needed to roll
+// the transaction forward after the commit point, with end-to-end
+// checksums for every staged payload.
+type manifest struct {
+	Tx  string       `json:"tx"`
+	Ops []manifestOp `json:"ops"`
+}
+
+type manifestOp struct {
+	Type   string    `json:"type"` // "put" or "append"
+	Kind   string    `json:"kind,omitempty"`
+	Key    string    `json:"key,omitempty"`
+	SHA    string    `json:"sha256,omitempty"` // head payload checksum
+	Size   int64     `json:"size,omitempty"`   // logical object size
+	Segs   []segInfo `json:"segs,omitempty"`   // per-segment checksums
+	Staged []string  `json:"staged,omitempty"` // staged file names: head, then segments
+	Rel    string    `json:"rel,omitempty"`    // append target, slash-relative to the side dir
+	Line   []byte    `json:"line,omitempty"`   // append payload (one line, no newline)
+}
+
+type segInfo struct {
+	SHA  string `json:"sha256"`
+	Size int64  `json:"size"`
+}
+
+// blobHead is the head payload of a segmented object: the manifest of
+// its value segments, itself checksummed like any plain object.
+type blobHead struct {
+	Blob     int       `json:"resultstore_blob"` // format version
+	Size     int64     `json:"size"`
+	Segments []segInfo `json:"segments"`
+}
+
+type txOp struct {
+	put     bool
+	kind    Kind
+	key     string
+	payload []byte   // object payload, or blob head JSON
+	segs    [][]byte // value segments (blob puts only)
+	size    int64    // logical size
+	rel     string
+	line    []byte
+}
+
+// Tx accumulates puts and appends that commit atomically. A Tx is not
+// safe for concurrent use; Commit may be retried after a transient
+// error (the operations are retained until a commit succeeds).
+type Tx struct {
+	s   *Store
+	ops []txOp
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx { return &Tx{s: s} }
+
+// Put stages one plain object write.
+func (t *Tx) Put(kind Kind, key string, payload []byte) {
+	p := append([]byte(nil), payload...)
+	t.ops = append(t.ops, txOp{put: true, kind: kind, key: key, payload: p, size: int64(len(p))})
+}
+
+// PutBlob stages one segmented object write, splitting r into
+// checksummed value segments of the store's segment size.
+func (t *Tx) PutBlob(kind Kind, key string, r io.Reader) error {
+	all, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("resultstore: read blob %s-%s: %w", kind, key, err)
+	}
+	segSize := t.s.segSize
+	var segs [][]byte
+	head := blobHead{Blob: 1, Size: int64(len(all))}
+	for off := 0; off < len(all) || len(segs) == 0; off += segSize {
+		end := off + segSize
+		if end > len(all) {
+			end = len(all)
+		}
+		seg := append([]byte(nil), all[off:end]...)
+		segs = append(segs, seg)
+		head.Segments = append(head.Segments, segInfo{SHA: sumHex(seg), Size: int64(len(seg))})
+	}
+	hb, err := json.Marshal(&head)
+	if err != nil {
+		return err
+	}
+	t.ops = append(t.ops, txOp{put: true, kind: kind, key: key, payload: hb, segs: segs, size: head.Size})
+	return nil
+}
+
+// Append stages one journal-style line append to rel (slash-relative to
+// the store directory), replicated to the mirror like any object write.
+func (t *Tx) Append(rel string, line []byte) {
+	t.ops = append(t.ops, txOp{rel: rel, line: append([]byte(nil), line...)})
+}
+
+// Commit runs the commit protocol: stage, write redo record, rename to
+// commit record (the commit point), apply, replicate, release. An error
+// return means the transaction did not commit and was rolled back; it
+// may be retried. After the commit point Commit returns nil even if an
+// apply step failed — the surviving commit record re-applies on the
+// next Open.
+func (t *Tx) Commit() error {
+	if len(t.ops) == 0 {
+		return nil
+	}
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sd := s.serving()
+	if sd == nil {
+		return fmt.Errorf("resultstore: no healthy side to commit to")
+	}
+	s.txSeq++
+	txid := fmt.Sprintf("tx-%d-%d", os.Getpid(), s.txSeq)
+	stagingDir := filepath.Join(sd.dir, vtstoreDir, "staging")
+	walDir := filepath.Join(sd.dir, vtstoreDir, "wal")
+	redoPath := filepath.Join(walDir, txid+".redo")
+	commitPath := filepath.Join(walDir, txid+".commit")
+
+	var stagedPaths []string
+	rollback := func(err error) error {
+		for _, p := range stagedPaths {
+			os.Remove(p)
+		}
+		os.Remove(redoPath)
+		return err
+	}
+
+	m := manifest{Tx: txid}
+	for i, op := range t.ops {
+		if !op.put {
+			m.Ops = append(m.Ops, manifestOp{Type: "append", Rel: op.rel, Line: op.line})
+			continue
+		}
+		mo := manifestOp{
+			Type: "put", Kind: string(op.kind), Key: op.key,
+			SHA: sumHex(op.payload), Size: op.size,
+		}
+		files := append([][]byte{op.payload}, op.segs...)
+		shas := []string{mo.SHA}
+		for _, seg := range op.segs {
+			si := segInfo{SHA: sumHex(seg), Size: int64(len(seg))}
+			mo.Segs = append(mo.Segs, si)
+			shas = append(shas, si.SHA)
+		}
+		for j, b := range files {
+			name := fmt.Sprintf("%s-%d.%d", txid, i, j)
+			p := filepath.Join(stagingDir, name)
+			if err := s.fs.writeVerified(p, b, shas[j]); err != nil {
+				return rollback(fmt.Errorf("resultstore: stage %s: %w", name, err))
+			}
+			stagedPaths = append(stagedPaths, p)
+			mo.Staged = append(mo.Staged, name)
+		}
+		m.Ops = append(m.Ops, mo)
+	}
+	mb, err := json.Marshal(&m)
+	if err != nil {
+		return rollback(err)
+	}
+	if err := s.fs.writeFile(redoPath, mb); err != nil {
+		return rollback(fmt.Errorf("resultstore: write redo record: %w", err))
+	}
+	// The commit point: after this rename succeeds, the transaction is
+	// durable — recovery rolls it forward even if everything below fails.
+	if err := s.fs.rename(redoPath, commitPath); err != nil {
+		return rollback(fmt.Errorf("resultstore: commit %s: %w", txid, err))
+	}
+	s.counters.Commits++
+	ok := s.applyManifest(sd, &m)
+	if other := s.otherHealthy(sd); ok && other != nil {
+		ok = s.replicate(sd, other, &m)
+	}
+	if ok {
+		os.Remove(commitPath)
+	} else {
+		// Leave the commit record: the next Open finishes the apply.
+		s.event(Event{Op: "commit-deferred", Side: s.roleOf(sd), Detail: txid})
+	}
+	return nil
+}
+
+// objFiles lists an op's final file names on a side: head, then
+// segments.
+func (s *Store) objFiles(sd *side, op manifestOp) []string {
+	head := s.objPath(sd, Kind(op.Kind), op.Key)
+	files := []string{head}
+	for i := range op.Segs {
+		files = append(files, segPath(head, i))
+	}
+	return files
+}
+
+// applyManifest rolls a committed manifest forward on the side that
+// owns its staging area. Idempotent: a staged file already renamed on a
+// previous pass is verified in place instead. Callers hold s.mu.
+func (s *Store) applyManifest(owner *side, m *manifest) bool {
+	stagingDir := filepath.Join(owner.dir, vtstoreDir, "staging")
+	allOK := true
+	for _, op := range m.Ops {
+		switch op.Type {
+		case "put":
+			if !s.applyPut(owner, stagingDir, m.Tx, op) {
+				allOK = false
+			}
+		case "append":
+			target := filepath.Join(owner.dir, filepath.FromSlash(op.Rel))
+			if err := retryOnce(func() error { return s.fs.appendFile(target, op.Line) }); err != nil {
+				allOK = false
+				s.event(Event{Op: "apply-failed", Side: s.roleOf(owner), Detail: fmt.Sprintf("append %s: %v", op.Rel, err)})
+			}
+		}
+	}
+	return allOK
+}
+
+// applyPut moves one put's staged files into place and indexes it.
+func (s *Store) applyPut(owner *side, stagingDir, txid string, op manifestOp) bool {
+	dsts := s.objFiles(owner, op)
+	shas := []string{op.SHA}
+	for _, si := range op.Segs {
+		shas = append(shas, si.SHA)
+	}
+	for j, name := range op.Staged {
+		if j >= len(dsts) {
+			return false
+		}
+		sp := filepath.Join(stagingDir, name)
+		if _, err := os.Lstat(sp); err == nil {
+			if err := retryOnce(func() error { return s.fs.rename(sp, dsts[j]) }); err != nil {
+				s.event(Event{Op: "apply-failed", Side: s.roleOf(owner), Kind: op.Kind, Key: op.Key, Detail: err.Error()})
+				return false
+			}
+			continue
+		}
+		// Staged file gone: a previous pass applied it. Verify in place.
+		b, err := s.fs.readFile(dsts[j])
+		if err != nil || sumHex(b) != shas[j] {
+			s.event(Event{Op: "damaged", Side: s.roleOf(owner), Kind: op.Kind, Key: op.Key,
+				Detail: "staged payload lost and final file invalid"})
+			return false
+		}
+	}
+	if err := s.appendIndex(owner, indexEntry{
+		Kind: op.Kind, Key: op.Key, SHA: op.SHA, Size: op.Size, Segs: len(op.Segs), Tx: txid,
+	}); err != nil {
+		s.event(Event{Op: "apply-failed", Side: s.roleOf(owner), Kind: op.Kind, Key: op.Key, Detail: err.Error()})
+		return false
+	}
+	return true
+}
+
+// replicate copies a committed manifest's effects from the owner side to
+// another side, verifying every payload's checksum on the way through.
+// Callers hold s.mu.
+func (s *Store) replicate(from, to *side, m *manifest) bool {
+	allOK := true
+	for _, op := range m.Ops {
+		switch op.Type {
+		case "put":
+			if !s.replicatePut(from, to, m.Tx, op) {
+				allOK = false
+			}
+		case "append":
+			target := filepath.Join(to.dir, filepath.FromSlash(op.Rel))
+			if err := retryOnce(func() error { return s.fs.appendFile(target, op.Line) }); err != nil {
+				allOK = false
+				s.event(Event{Op: "replicate-failed", Side: s.roleOf(to), Detail: fmt.Sprintf("append %s: %v", op.Rel, err)})
+			}
+		}
+	}
+	return allOK
+}
+
+func (s *Store) replicatePut(from, to *side, txid string, op manifestOp) bool {
+	srcs := s.objFiles(from, op)
+	dsts := s.objFiles(to, op)
+	shas := []string{op.SHA}
+	for _, si := range op.Segs {
+		shas = append(shas, si.SHA)
+	}
+	for j := range srcs {
+		b, err := s.fs.readFile(srcs[j])
+		if err != nil || sumHex(b) != shas[j] {
+			s.event(Event{Op: "replicate-failed", Side: s.roleOf(to), Kind: op.Kind, Key: op.Key,
+				Detail: "source payload unreadable or corrupt"})
+			return false
+		}
+		tmp := filepath.Join(to.dir, vtstoreDir, "staging", fmt.Sprintf("repl-%s-%s", txid, filepath.Base(dsts[j])))
+		if err := s.fs.writeVerified(tmp, b, shas[j]); err != nil {
+			s.event(Event{Op: "replicate-failed", Side: s.roleOf(to), Kind: op.Kind, Key: op.Key, Detail: err.Error()})
+			return false
+		}
+		if err := retryOnce(func() error { return s.fs.rename(tmp, dsts[j]) }); err != nil {
+			os.Remove(tmp)
+			s.event(Event{Op: "replicate-failed", Side: s.roleOf(to), Kind: op.Kind, Key: op.Key, Detail: err.Error()})
+			return false
+		}
+	}
+	if err := s.appendIndex(to, indexEntry{
+		Kind: op.Kind, Key: op.Key, SHA: op.SHA, Size: op.Size, Segs: len(op.Segs), Tx: txid,
+	}); err != nil {
+		return false
+	}
+	return true
+}
