@@ -14,7 +14,10 @@
 //	vtbench -store c -resume          # continue an interrupted/failed sweep
 //	vtbench -store c -mirror m        # replicate the result store to a second directory
 //	vtbench -store c -repair          # audit + heal the store, then exit
-//	vtbench -monitor :8080            # live sweep progress (HTML + /status JSON)
+//	vtbench -monitor :8080            # live sweep progress (HTML, /status, /metrics, /debug/pprof)
+//	vtbench -sweeptrace trace.json    # record the sweep-lifecycle span tree (vtreport -tracepath)
+//	vtbench -sweepperfetto ui.json    # ... also rendered for chrome://tracing / ui.perfetto.dev
+//	vtbench -metricsdump metrics.txt  # write the final Prometheus exposition on exit
 //	vtbench -telemetry                # collect per-run telemetry (totals in -json)
 //	vtbench -checkpoint               # prefix-fork sweep points that share a run prefix
 //	vtbench -checkpoint -forkcycle N  # pin the donor's capture to cycle >= N
@@ -25,7 +28,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +40,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	vtsim "repro"
@@ -43,6 +49,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/resultstore"
 	"repro/internal/stats"
+	"repro/internal/sweepobs"
 )
 
 // expReport is one experiment's row in the -json output.
@@ -156,7 +163,10 @@ func realMain() int {
 		checkpoint = flag.Bool("checkpoint", false, "prefix-fork sweep points that differ only in late-consumed parameters (bit-identical results, shared prefix simulated once)")
 		sample     = flag.String("sample", "", "interval/sampled simulation as detailed:fastforward[:warmup] cycles; cycle counts become extrapolations within a reported error bound")
 		forkCycle  = flag.Int64("forkcycle", 0, "with -checkpoint, pin the donor's capture to the first cycle >= N (0 = adaptive periodic capture)")
-		monitor    = flag.String("monitor", "", "serve live sweep progress (HTML + /status JSON) on this address, e.g. :8080")
+		monitor    = flag.String("monitor", "", "serve live sweep progress (HTML, /status JSON, /metrics, /debug/pprof) on this address, e.g. :8080")
+		sweeptrace = flag.String("sweeptrace", "", "write the sweep-lifecycle span dump (JSON) to this file; with -store it also commits as a store artifact")
+		sweepPerf  = flag.String("sweepperfetto", "", "also render the sweep trace for chrome://tracing / ui.perfetto.dev into this file")
+		metricsOut = flag.String("metricsdump", "", "write the final Prometheus text exposition to this file on exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -249,14 +259,46 @@ func realMain() int {
 		p.Sampling = so
 	}
 
+	// Sweep observability: every invocation gets its own Monitor (nothing
+	// leaks through the process-global default), and any flag that
+	// consumes spans turns the tracer on. With all of them off, p.Trace
+	// stays nil and every tracer hook is a nil-receiver no-op — the
+	// contract behind the CI overhead gate.
+	mon := harness.NewMonitor()
+	p.Monitor = mon
+	var tracer *sweepobs.Tracer
+	if *sweeptrace != "" || *sweepPerf != "" || *metricsOut != "" || *monitor != "" {
+		tracer = sweepobs.New()
+		mon.SetTracer(tracer)
+		p.Trace = tracer
+	}
+
+	stopMonitor := func() {}
 	if *monitor != "" {
+		// Listen synchronously so a bad address or occupied port is a
+		// fatal setup error, not a silently dead goroutine.
 		ln, err := net.Listen("tcp", *monitor)
 		if err != nil {
 			return fatalf("monitor: %v", err)
 		}
-		defer ln.Close()
 		fmt.Fprintf(os.Stderr, "vtbench: monitor on http://%s/\n", ln.Addr())
-		go http.Serve(ln, harness.MonitorHandler())
+		srv := &http.Server{Handler: mon.Handler()}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(ln) }()
+		var once sync.Once
+		stopMonitor = func() {
+			once.Do(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					srv.Close()
+				}
+				if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+					fmt.Fprintf(os.Stderr, "vtbench: monitor server: %v\n", err)
+				}
+			})
+		}
+		defer stopMonitor()
 	}
 
 	if *injectSpec != "" {
@@ -399,6 +441,15 @@ func realMain() int {
 		}
 	}
 
+	// The sweep is complete: drain in-flight monitor scrapes gracefully,
+	// then flush the observability outputs from the final state.
+	stopMonitor()
+	if tracer != nil {
+		if err := writeSweepObservability(p, mon, tracer, *sweeptrace, *sweepPerf, *metricsOut); err != nil {
+			return fatalf("%v", err)
+		}
+	}
+
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
@@ -422,6 +473,62 @@ func realMain() int {
 		}
 	}
 	return exitCode
+}
+
+// writeSweepObservability flushes the tracer's span dump to the
+// requested outputs: the raw JSON dump (vtreport -tracepath input), the
+// Perfetto rendering, the result-store artifact (when a store is
+// attached), and the final Prometheus exposition.
+func writeSweepObservability(p vtsim.ExperimentParams, mon *harness.Monitor, tracer *sweepobs.Tracer, tracePath, perfPath, metricsPath string) error {
+	d := tracer.Dump()
+	if tracePath != "" {
+		b, err := json.MarshalIndent(d, "", " ")
+		if err != nil {
+			return fmt.Errorf("sweeptrace: %v", err)
+		}
+		if err := os.WriteFile(tracePath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("sweeptrace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "vtbench: wrote %s (%d spans)\n", tracePath, len(d.Spans))
+	}
+	if perfPath != "" {
+		f, err := os.Create(perfPath)
+		if err != nil {
+			return fmt.Errorf("sweepperfetto: %v", err)
+		}
+		werr := sweepobs.WritePerfetto(f, d)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("sweepperfetto: %v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "vtbench: wrote %s\n", perfPath)
+	}
+	if p.CacheDir != "" {
+		// Best-effort: a trace that fails to commit must not fail a sweep
+		// whose results committed fine.
+		if err := harness.PersistSweepTrace(p, d); err != nil {
+			fmt.Fprintf(os.Stderr, "vtbench: persist sweep trace: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "vtbench: sweep trace committed to store %s\n", p.CacheDir)
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return fmt.Errorf("metricsdump: %v", err)
+		}
+		werr := mon.WriteMetrics(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("metricsdump: %v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "vtbench: wrote %s\n", metricsPath)
+	}
+	return nil
 }
 
 // runRepair opens the result store, audits every object on every side,

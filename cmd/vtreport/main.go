@@ -12,6 +12,9 @@
 //	vtreport -rings dump.json   # timeline summary of a telemetry ring dump
 //	vtreport -store dir         # result-store inventory + integrity audit
 //	vtreport -store p -mirror m # ... across both replica sides
+//	vtreport -tracepath trace.json    # critical path + stage breakdown of a sweep trace
+//	vtreport -tracepath storedir      # ... loaded from the store's vtart-sweeptrace artifact
+//	vtreport -tracepath t -perfetto p # ... also rendered for chrome://tracing
 package main
 
 import (
@@ -22,24 +25,36 @@ import (
 
 	vtsim "repro"
 	"repro/internal/cta"
+	"repro/internal/harness"
 	"repro/internal/kernels"
 	"repro/internal/resultstore"
 	"repro/internal/stats"
+	"repro/internal/sweepobs"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "analyze one workload in detail")
-		scale    = flag.Int("scale", 1, "grid size multiplier")
-		rings    = flag.String("rings", "", "render the timeline summary of a telemetry ring dump (vtsim -telemetry)")
-		storeDir = flag.String("store", "", "query a result store: per-kind inventory, replica sides, and a read-only integrity audit")
-		mirror   = flag.String("mirror", "", "with -store, also audit this mirror side")
+		workload  = flag.String("workload", "", "analyze one workload in detail")
+		scale     = flag.Int("scale", 1, "grid size multiplier")
+		rings     = flag.String("rings", "", "render the timeline summary of a telemetry ring dump (vtsim -telemetry)")
+		storeDir  = flag.String("store", "", "query a result store: per-kind inventory, replica sides, and a read-only integrity audit")
+		mirror    = flag.String("mirror", "", "with -store or -tracepath, also use this mirror side")
+		tracePath = flag.String("tracepath", "", "analyze a sweep trace (vtbench -sweeptrace file, or a store directory holding the trace artifact): critical path, per-stage breakdown, stragglers")
+		perfetto  = flag.String("perfetto", "", "with -tracepath, also render the trace for chrome://tracing / ui.perfetto.dev into this file")
 	)
 	flag.Parse()
 
 	if *rings != "" {
 		if err := ringsReport(*rings); err != nil {
+			fmt.Fprintf(os.Stderr, "vtreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tracePath != "" {
+		if err := traceReport(*tracePath, *mirror, *perfetto); err != nil {
 			fmt.Fprintf(os.Stderr, "vtreport: %v\n", err)
 			os.Exit(1)
 		}
@@ -140,6 +155,96 @@ func storeReport(dir, mirror string) error {
 			len(rep.Damaged), len(rep.Unrecoverable), dir)
 	}
 	fmt.Println("store is healthy")
+	return nil
+}
+
+// loadSweepDump reads a sweep trace from either a vtbench -sweeptrace
+// JSON file or a result-store directory holding the vtart-sweeptrace
+// artifact.
+func loadSweepDump(path, mirror string) (*sweepobs.Dump, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return harness.LoadSweepTrace(path, mirror)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d sweepobs.Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.SchemaVersion != sweepobs.DumpSchemaVersion {
+		return nil, fmt.Errorf("%s: sweep trace schema %d (want %d)", path, d.SchemaVersion, sweepobs.DumpSchemaVersion)
+	}
+	return &d, nil
+}
+
+// traceReport prints the critical-path analysis of one sweep trace: the
+// chain of jobs that determined the wall-clock, the per-stage self-time
+// breakdown, and any straggler jobs far above the median duration.
+func traceReport(path, mirror, perfOut string) error {
+	d, err := loadSweepDump(path, mirror)
+	if err != nil {
+		return err
+	}
+	a := sweepobs.Analyze(d)
+	if a == nil {
+		return fmt.Errorf("%s: trace has no spans", path)
+	}
+
+	fmt.Printf("sweep trace: %d spans, %d jobs, %d worker slots, %.3fs wall (started %s)\n",
+		len(d.Spans), a.Jobs, a.Workers, a.WallSeconds, d.StartTime)
+	fmt.Printf("span coverage: %.1f%% of wall-clock inside plan/job spans\n\n", 100*a.Coverage)
+
+	fmt.Printf("critical path (%.3fs — the chain that set the wall-clock):\n", a.PathSeconds)
+	for _, s := range a.Path {
+		fmt.Println("  " + sweepobs.FormatStep(s))
+	}
+	fmt.Println()
+
+	t := stats.NewTable("stage breakdown (self time across all workers)",
+		"stage", "count", "seconds", "share")
+	var total float64
+	for _, b := range a.Breakdown {
+		total += b.Seconds
+	}
+	for _, b := range a.Breakdown {
+		share := "-"
+		if total > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*b.Seconds/total)
+		}
+		t.Rowf(b.Stage, b.Count, stats.F3(b.Seconds), share)
+	}
+	if a.Workers > 1 {
+		t.Note("totals span %d concurrent worker slots; divide by %d for an average-per-slot view",
+			a.Workers, a.Workers)
+	}
+	t.Fprint(os.Stdout)
+
+	if len(a.Stragglers) > 0 {
+		fmt.Println()
+		s := stats.NewTable("stragglers (jobs > 2x the median duration)",
+			"job", "seconds", "x median")
+		for _, st := range a.Stragglers {
+			s.Rowf(st.Workload+"/"+st.Variant, stats.F3(st.Seconds), fmt.Sprintf("%.1f", st.Ratio))
+		}
+		s.Fprint(os.Stdout)
+	}
+
+	if perfOut != "" {
+		f, err := os.Create(perfOut)
+		if err != nil {
+			return err
+		}
+		werr := sweepobs.WritePerfetto(f, d)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("perfetto: %v", werr)
+		}
+		fmt.Printf("\nwrote %s (open in chrome://tracing or ui.perfetto.dev)\n", perfOut)
+	}
 	return nil
 }
 

@@ -131,9 +131,18 @@ func forkExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result,
 	ce := ckEntryFor(j.prefixFP)
 	ce.once.Do(func() {
 		st := storeFor(p)
-		if ck := diskLoadCheckpoint(st, j.prefixFP); ck != nil {
-			ce.ck = ck
-			return
+		if st != nil {
+			lid := p.Trace.Begin(p.span, "fork.ckload", j.workload, j.variant)
+			ck := diskLoadCheckpoint(st, j.prefixFP)
+			if ck != nil {
+				p.Trace.SetAttr(lid, "outcome", "hit")
+				p.Trace.SetAttr(lid, "cycle", fmt.Sprint(ck.Cycle))
+				p.Trace.End(lid)
+				ce.ck = ck
+				return
+			}
+			p.Trace.SetAttr(lid, "outcome", "miss")
+			p.Trace.End(lid)
 		}
 		spec := &forkSpec{capture: true, at: p.ForkCycle}
 		ce.res, ce.err = supervisedExecuteFork(p, j, cfg, fp, spec)
@@ -141,7 +150,11 @@ func forkExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result,
 		ce.ck = spec.captured
 		if ce.ck != nil {
 			bumpMetric(func(m *RunMetrics) { m.CheckpointsCaptured++ })
-			diskStoreCheckpoint(st, j.prefixFP, ce.ck)
+			if st != nil {
+				sid := p.Trace.Begin(p.span, "fork.ckstore", j.workload, j.variant)
+				diskStoreCheckpoint(st, j.prefixFP, ce.ck)
+				p.Trace.End(sid)
+			}
 		}
 	})
 	if ce.donorFP == fp {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
+	"repro/internal/sweepobs"
 )
 
 // Params configures a harness run.
@@ -109,6 +110,23 @@ type Params struct {
 	// checker, execute exactly. The zero value (the default) runs fully
 	// detailed.
 	Sampling gpu.SamplingOptions
+
+	// Observability (see internal/sweepobs and monitor.go).
+
+	// Trace, when non-nil, records a sweep-lifecycle span tree: every
+	// job emits plan → store lookup → fork → execute → store-tx spans
+	// plus supervisor events. Nil (the default) disables tracing; every
+	// tracer hook is a nil-receiver no-op, so the off path costs a nil
+	// check (the CI overhead gate's contract).
+	Trace *sweepobs.Tracer
+	// Monitor receives live job begin/finish bookkeeping and serves the
+	// -monitor endpoints. Nil uses the process-wide DefaultMonitor,
+	// preserving the old package-global behavior.
+	Monitor *Monitor
+
+	// span is the current parent span, threaded through the by-value
+	// Params copies as execution descends (experiment → job → attempt).
+	span sweepobs.SpanID
 }
 
 // DefaultParams returns the evaluation defaults.
@@ -210,12 +228,18 @@ func currentLabelCtx() context.Context {
 // per-run (workload, variant) labels runMany adds.
 func RunOne(e Experiment, p Params, w io.Writer) error {
 	var err error
+	eid := p.Trace.Begin(p.span, "experiment", e.ID, "")
+	p.span = eid
 	pprof.Do(context.Background(), pprof.Labels("experiment", e.ID),
 		func(ctx context.Context) {
 			old := swapLabelCtx(ctx)
 			defer swapLabelCtx(old)
 			err = e.Run(p, w)
 		})
+	if err != nil {
+		p.Trace.SetAttr(eid, "error", "true")
+	}
+	p.Trace.End(eid)
 	return err
 }
 
@@ -244,7 +268,10 @@ type key struct {
 // Each run carries pprof labels so CPU profiles attribute samples to the
 // (workload, variant) that burned them.
 func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
+	plan := p.Trace.Begin(p.span, "plan", "", "")
 	jobs = forkPlan(p, jobs)
+	p.Trace.End(plan)
+	mon := p.monitor()
 	results := make(map[key]*gpu.Result, len(jobs))
 	var mu sync.Mutex
 	errs := make([]error, len(jobs))
@@ -253,7 +280,9 @@ func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
 	for i, j := range jobs {
 		// Take the semaphore slot before spawning, so at most `workers`
 		// goroutines exist at a time (a 590-job RunAll used to park
-		// hundreds of them on this channel).
+		// hundreds of them on this channel). The job span starts after
+		// the slot is taken, so tracer worker slots mirror real
+		// concurrency.
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, j job) {
@@ -263,9 +292,13 @@ func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
 			var err error
 			labels := pprof.Labels("workload", j.workload, "variant", j.variant)
 			pprof.Do(currentLabelCtx(), labels, func(context.Context) {
-				beginJob(j)
-				defer endJob(j)
-				res, err = memoRun(p, j)
+				jid := p.Trace.BeginJob(p.span, j.workload, j.variant)
+				mon.beginJob(j)
+				defer mon.endJob(j)
+				defer p.Trace.EndJob(jid)
+				jp := p
+				jp.span = jid
+				res, err = memoRun(jp, j)
 			})
 			if err != nil {
 				errs[i] = fmt.Errorf("%s/%s: %w", j.workload, j.variant, err)

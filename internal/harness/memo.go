@@ -133,11 +133,15 @@ func Metrics() RunMetrics {
 }
 
 // ResetMetrics zeroes the work counters, empties the memo and
-// checkpoint caches, and closes any open result stores (so the next
+// checkpoint caches, closes any open result stores (so the next
 // cached run reopens them — index replay plus WAL recovery — exactly
-// like a fresh process).
+// like a fresh process), and resets the default monitor so back-to-back
+// sweeps in one process (benchmarks, tests) never see each other's
+// uptime epoch, active jobs, or rate window. Injected Params.Monitor
+// instances are owned by their sweeps and reset by their owners.
 func ResetMetrics() {
 	resetStores()
+	defaultMon.Reset()
 	memoMu.Lock()
 	defer memoMu.Unlock()
 	memoStats = RunMetrics{}
@@ -194,13 +198,19 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 		// cached hit would skip the fault, and a faulted (or degraded)
 		// outcome must never be served to an un-injected sweep.
 		injected := p.Inject != nil && p.Inject.Matches(j.workload, j.variant)
-		if !injected {
-			if res := diskLoad(storeFor(p), fp); res != nil {
+		if st := storeFor(p); st != nil && !injected {
+			sid := p.Trace.Begin(p.span, "store.get", j.workload, j.variant)
+			res := diskLoad(st, fp)
+			if res != nil {
+				p.Trace.SetAttr(sid, "outcome", "hit")
+				p.Trace.End(sid)
 				// A disk hit is a cache hit: Executed and SimCycles stay
 				// untouched, so simcycles/s reflects real simulation work.
 				e.res = res
 				return
 			}
+			p.Trace.SetAttr(sid, "outcome", "miss")
+			p.Trace.End(sid)
 		}
 		var prefix int64
 		// Sampled sweeps never fork: a checkpoint capture could land
@@ -220,6 +230,12 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 			memoStats.SimCycles += e.res.Cycles - prefix
 		}
 		memoMu.Unlock()
+		if e.err == nil {
+			// Feed the monitor's windowed simcycles/s rate (cache hits
+			// above add nothing, so a resumed sweep reads ~0, not a
+			// stale cumulative average).
+			p.monitor().noteFinished(e.res.Cycles - prefix)
+		}
 		// Persistence happens inside journalRecord (supervisor.go): the
 		// Result and its completion-journal line commit as one result-store
 		// transaction, so a crash can never record an outcome whose Result

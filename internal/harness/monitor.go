@@ -4,43 +4,138 @@ import (
 	"encoding/json"
 	"fmt"
 	"html"
+	"io"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/sweepobs"
 )
 
 // Live sweep monitoring (cmd/vtbench -monitor): runMany reports every
-// job's start and finish here, and MonitorHandler serves the current
-// sweep state — active jobs plus the RunMetrics counters — as JSON
-// (/status) and as a minimal self-refreshing HTML page (/). The monitor
-// is passive bookkeeping: a map update per job, nothing on the
-// simulation hot path.
+// job's start and finish to a Monitor, whose Handler serves the current
+// sweep state — active jobs, RunMetrics counters, span-derived stage
+// totals — as JSON (/status), Prometheus text exposition (/metrics), a
+// minimal self-refreshing HTML page (/), and the net/http/pprof
+// profiling endpoints (/debug/pprof/). The monitor is passive
+// bookkeeping: a map update per job, nothing on the simulation hot
+// path.
+//
+// A Monitor is injectable through Params.Monitor — per-sweep state no
+// longer leaks between sweeps or tests sharing the process — with a
+// package default kept for compatibility; ResetMetrics resets the
+// default alongside the counters.
 
-// MonitorSchemaVersion identifies the /status JSON layout.
-const MonitorSchemaVersion = 1
+// MonitorSchemaVersion identifies the /status JSON layout. Version 2
+// added lifetimeSimCyclesPerSec, the windowed simCyclesPerSec
+// semantics, and the span-derived per-stage totals ("stages").
+const MonitorSchemaVersion = 2
 
-type monitorState struct {
-	mu      sync.Mutex
-	started time.Time
-	active  map[key]time.Time // job -> start time
+// monitorRateWindow is the lookback for the windowed simcycles/s rate.
+const monitorRateWindow = 60 * time.Second
+
+// finishedJob is one executed run's completion, for the windowed rate.
+type finishedJob struct {
+	t      time.Time
+	cycles int64
 }
 
-var mon = monitorState{active: map[key]time.Time{}}
+// Monitor tracks one sweep's live state. Safe for concurrent use; the
+// zero value is not usable — construct with NewMonitor.
+type Monitor struct {
+	mu          sync.Mutex
+	now         func() time.Time // test seam
+	started     time.Time
+	active      map[key]time.Time // job -> start time
+	recent      []finishedJob     // completions inside the rate window
+	cyclesTotal int64             // lifetime executed sim-cycles
+	tracer      *sweepobs.Tracer
+}
 
-func beginJob(j job) {
-	mon.mu.Lock()
-	defer mon.mu.Unlock()
-	if mon.started.IsZero() {
-		mon.started = time.Now()
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{now: time.Now, active: map[key]time.Time{}}
+}
+
+// defaultMon backs the package-level compat API and any Params without
+// an explicit Monitor.
+var defaultMon = NewMonitor()
+
+// DefaultMonitor returns the process-wide default monitor (what
+// Params without an explicit Monitor report to).
+func DefaultMonitor() *Monitor { return defaultMon }
+
+// monitor resolves the monitor a run reports to.
+func (p Params) monitor() *Monitor {
+	if p.Monitor != nil {
+		return p.Monitor
 	}
-	mon.active[key{j.workload, j.variant}] = time.Now()
+	return defaultMon
 }
 
-func endJob(j job) {
-	mon.mu.Lock()
-	defer mon.mu.Unlock()
-	delete(mon.active, key{j.workload, j.variant})
+// SetTracer attaches the sweep tracer whose stage totals and span
+// metrics the /status and /metrics endpoints include.
+func (m *Monitor) SetTracer(tr *sweepobs.Tracer) {
+	m.mu.Lock()
+	m.tracer = tr
+	m.mu.Unlock()
+}
+
+// Reset clears all sweep state (uptime epoch, active jobs, rate
+// window, lifetime cycles, tracer), so one process can run independent
+// sweeps back to back.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	m.started = time.Time{}
+	m.active = map[key]time.Time{}
+	m.recent = nil
+	m.cyclesTotal = 0
+	m.tracer = nil
+	m.mu.Unlock()
+}
+
+func (m *Monitor) beginJob(j job) {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started.IsZero() {
+		m.started = now
+	}
+	m.active[key{j.workload, j.variant}] = now
+}
+
+func (m *Monitor) endJob(j job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.active, key{j.workload, j.variant})
+}
+
+// noteFinished records one executed run's simulated cycles at its
+// completion time. Cache hits never call this, so the windowed rate
+// reflects real simulation work — a resumed sweep that serves
+// everything from the store reports ~0, not a stale cumulative
+// average.
+func (m *Monitor) noteFinished(cycles int64) {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cyclesTotal += cycles
+	m.recent = append(m.recent, finishedJob{t: now, cycles: cycles})
+	m.pruneLocked(now)
+}
+
+// pruneLocked drops completions older than the rate window.
+func (m *Monitor) pruneLocked(now time.Time) {
+	cut := now.Add(-monitorRateWindow)
+	i := 0
+	for i < len(m.recent) && m.recent[i].t.Before(cut) {
+		i++
+	}
+	if i > 0 {
+		m.recent = append(m.recent[:0], m.recent[i:]...)
+	}
 }
 
 // ActiveJob is one currently-running simulation in MonitorStatus.
@@ -52,58 +147,139 @@ type ActiveJob struct {
 
 // MonitorStatus is the /status JSON document.
 type MonitorStatus struct {
-	SchemaVersion   int         `json:"schemaVersion"`
-	UptimeSeconds   float64     `json:"uptimeSeconds"`
-	Active          []ActiveJob `json:"active"`
-	Metrics         RunMetrics  `json:"metrics"`
-	SimCyclesPerSec float64     `json:"simCyclesPerSec"`
+	SchemaVersion int         `json:"schemaVersion"`
+	UptimeSeconds float64     `json:"uptimeSeconds"`
+	Active        []ActiveJob `json:"active"`
+	Metrics       RunMetrics  `json:"metrics"`
+	// SimCyclesPerSec is the windowed rate: simulated cycles of runs
+	// finishing within the last monitorRateWindow, over the window (or
+	// the uptime while younger than the window). It reads ~0 when the
+	// sweep is serving cache hits — unlike the old cumulative average,
+	// which went stale after a resume skipped cached jobs.
+	SimCyclesPerSec float64 `json:"simCyclesPerSec"`
+	// LifetimeSimCyclesPerSec is the old cumulative average, kept for
+	// whole-sweep throughput summaries.
+	LifetimeSimCyclesPerSec float64 `json:"lifetimeSimCyclesPerSec"`
+	// Stages aggregates completed sweep-trace spans by kind (present
+	// only when tracing is on).
+	Stages map[string]sweepobs.StageTotal `json:"stages,omitempty"`
 }
 
-// Status snapshots the sweep for the monitor endpoint.
-func Status() MonitorStatus {
-	m := Metrics()
-	st := MonitorStatus{SchemaVersion: MonitorSchemaVersion, Metrics: m}
-	mon.mu.Lock()
-	now := time.Now()
-	if !mon.started.IsZero() {
-		st.UptimeSeconds = now.Sub(mon.started).Seconds()
+// Status snapshots the sweep for the monitor endpoints.
+func (m *Monitor) Status() MonitorStatus {
+	st := MonitorStatus{SchemaVersion: MonitorSchemaVersion, Metrics: Metrics()}
+	now := m.now()
+	m.mu.Lock()
+	if !m.started.IsZero() {
+		st.UptimeSeconds = now.Sub(m.started).Seconds()
 	}
-	for k, t0 := range mon.active {
+	for k, t0 := range m.active {
 		st.Active = append(st.Active, ActiveJob{
 			Workload: k.Workload,
 			Variant:  k.Variant,
 			Seconds:  now.Sub(t0).Seconds(),
 		})
 	}
-	mon.mu.Unlock()
+	m.pruneLocked(now)
+	var windowCycles int64
+	for _, f := range m.recent {
+		windowCycles += f.cycles
+	}
+	cyclesTotal := m.cyclesTotal
+	tracer := m.tracer
+	m.mu.Unlock()
+
 	sort.Slice(st.Active, func(a, b int) bool {
 		if st.Active[a].Workload != st.Active[b].Workload {
 			return st.Active[a].Workload < st.Active[b].Workload
 		}
 		return st.Active[a].Variant < st.Active[b].Variant
 	})
-	if st.UptimeSeconds > 0 {
-		st.SimCyclesPerSec = float64(m.SimCycles) / st.UptimeSeconds
+	window := monitorRateWindow.Seconds()
+	if st.UptimeSeconds > 0 && st.UptimeSeconds < window {
+		window = st.UptimeSeconds
 	}
+	if window > 0 {
+		st.SimCyclesPerSec = float64(windowCycles) / window
+	}
+	if st.UptimeSeconds > 0 {
+		st.LifetimeSimCyclesPerSec = float64(cyclesTotal) / st.UptimeSeconds
+	}
+	st.Stages = tracer.StageTotals()
 	return st
 }
 
-// MonitorHandler returns the live-monitor HTTP handler: "/" is a
-// self-refreshing HTML summary, "/status" the JSON document.
-func MonitorHandler() http.Handler {
+// WriteMetrics renders the sweep state as Prometheus text exposition:
+// the RunMetrics counters and monitor gauges, rebuilt per scrape, plus
+// the tracer's span counters and latency histograms when tracing is
+// on. Metric families are disjoint between the two registries, so the
+// concatenation stays a valid exposition (no duplicate HELP/TYPE).
+func (m *Monitor) WriteMetrics(w io.Writer) error {
+	st := m.Status()
+	mt := st.Metrics
+	r := sweepobs.NewRegistry()
+	counter := func(name, help string, v float64) {
+		r.Counter(name, help).Add(v)
+	}
+	counter("vtsweep_runs_requested_total", "Simulations experiments asked for.", float64(mt.Requests))
+	counter("vtsweep_runs_executed_total", "gpu.Run calls actually performed.", float64(mt.Executed))
+	counter("vtsweep_memo_hits_total", "Requests served by the memo/disk cache.", float64(mt.CacheHits))
+	counter("vtsweep_sim_cycles_total", "Simulated cycles of executed runs.", float64(mt.SimCycles))
+	counter("vtsweep_supervisor_panics_total", "First attempts that panicked.", float64(mt.Panics))
+	counter("vtsweep_supervisor_invariant_trips_total", "First attempts aborted by the invariant checker.", float64(mt.InvariantTrips))
+	counter("vtsweep_supervisor_deadlines_total", "First attempts aborted by the wall-clock deadline.", float64(mt.Deadlines))
+	counter("vtsweep_supervisor_retries_total", "Safe-mode retries attempted.", float64(mt.Retries))
+	counter("vtsweep_supervisor_degraded_total", "Runs whose result came from a safe-mode retry.", float64(mt.Degraded))
+	counter("vtsweep_supervisor_failures_total", "Runs that failed after the retry ladder.", float64(mt.Failures))
+	counter("vtsweep_store_hits_total", "Store reads serving a verified or legacy payload.", float64(mt.StoreHits))
+	counter("vtsweep_store_misses_total", "Store reads that found nothing usable.", float64(mt.StoreMisses))
+	counter("vtsweep_store_repairs_total", "Objects healed from a replica after checksum mismatch.", float64(mt.StoreRepairs))
+	counter("vtsweep_store_retries_total", "Transient store I/O errors absorbed by retry.", float64(mt.StoreRetries))
+	counter("vtsweep_checkpoints_captured_total", "Donor runs that produced a usable prefix checkpoint.", float64(mt.CheckpointsCaptured))
+	counter("vtsweep_checkpoint_hits_total", "Jobs started from a prefix checkpoint.", float64(mt.CheckpointHits))
+	counter("vtsweep_checkpoint_misses_total", "Fork-eligible jobs that found no usable checkpoint.", float64(mt.CheckpointMisses))
+	counter("vtsweep_prefix_cycles_saved_total", "Prefix cycles forked runs skipped.", float64(mt.PrefixCyclesSaved))
+	counter("vtsweep_telemetry_windows_total", "Telemetry metric windows recorded by executed runs.", float64(mt.TelemetryWindows))
+	counter("vtsweep_telemetry_spans_total", "Telemetry lifecycle spans recorded by executed runs.", float64(mt.TelemetrySpans))
+	r.Gauge("vtsweep_active_jobs", "Simulations currently running.").Set(float64(len(st.Active)))
+	r.Gauge("vtsweep_uptime_seconds", "Wall time since the first job started.").Set(st.UptimeSeconds)
+	r.Gauge("vtsweep_sim_cycles_per_sec", "Windowed simulated-cycle rate over recently finished runs.").Set(st.SimCyclesPerSec)
+	if err := r.Write(w); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	tracer := m.tracer
+	m.mu.Unlock()
+	return tracer.Registry().Write(w)
+}
+
+// Handler returns the live-monitor HTTP handler: "/" is a
+// self-refreshing HTML summary, "/status" the JSON document,
+// "/metrics" the Prometheus exposition, and "/debug/pprof/" the
+// standard profiling endpoints.
+func (m *Monitor) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(Status())
+		enc.Encode(m.Status())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		st := Status()
+		st := m.Status()
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprintf(w, `<!doctype html><html><head><meta http-equiv="refresh" content="2">`+
 			`<title>vtbench monitor</title></head><body><h1>vtbench sweep</h1>`)
@@ -123,7 +299,16 @@ func MonitorHandler() http.Handler {
 			fmt.Fprintf(w, "<li>%s/%s — %.1fs</li>",
 				html.EscapeString(a.Workload), html.EscapeString(a.Variant), a.Seconds)
 		}
-		fmt.Fprintf(w, "</ul><p><a href=%q>JSON</a></p></body></html>", "/status")
+		fmt.Fprintf(w, "</ul><p><a href=%q>JSON</a> — <a href=%q>metrics</a></p></body></html>",
+			"/status", "/metrics")
 	})
 	return mux
 }
+
+// Status snapshots the default monitor. Compat wrapper; prefer an
+// injected Params.Monitor.
+func Status() MonitorStatus { return defaultMon.Status() }
+
+// MonitorHandler returns the default monitor's HTTP handler. Compat
+// wrapper; prefer an injected Params.Monitor.
+func MonitorHandler() http.Handler { return defaultMon.Handler() }

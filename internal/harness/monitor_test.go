@@ -2,13 +2,17 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/config"
+	"repro/internal/sweepobs"
 )
 
 // TestMonitorHandler exercises the live-monitor endpoint end to end: run
@@ -77,5 +81,199 @@ func TestMonitorHandler(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMonitorWindowedRate is the resume-staleness regression: the
+// reported simcycles/s must reflect *recently finished* work, so a
+// monitor that stops executing (e.g. a resumed sweep serving cache
+// hits) decays to zero instead of holding the stale lifetime average.
+func TestMonitorWindowedRate(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	m := NewMonitor()
+	m.now = func() time.Time { return now }
+
+	j := job{workload: "bfs", variant: "vt"}
+	m.beginJob(j)
+	now = now.Add(10 * time.Second)
+	m.noteFinished(5000)
+	m.endJob(j)
+
+	st := m.Status()
+	if st.UptimeSeconds != 10 {
+		t.Fatalf("uptime = %v, want 10", st.UptimeSeconds)
+	}
+	// Uptime is younger than the window, so both rates divide by uptime.
+	if st.SimCyclesPerSec != 500 {
+		t.Errorf("windowed rate = %v, want 500", st.SimCyclesPerSec)
+	}
+	if st.LifetimeSimCyclesPerSec != 500 {
+		t.Errorf("lifetime rate = %v, want 500", st.LifetimeSimCyclesPerSec)
+	}
+
+	// Two idle minutes later (all cache hits, nothing executed): the
+	// windowed rate must read 0 — the old cumulative average kept
+	// reporting a stale positive rate here.
+	now = now.Add(2 * time.Minute)
+	st = m.Status()
+	if st.SimCyclesPerSec != 0 {
+		t.Errorf("windowed rate after idle window = %v, want 0", st.SimCyclesPerSec)
+	}
+	if st.LifetimeSimCyclesPerSec <= 0 {
+		t.Errorf("lifetime rate = %v, want > 0", st.LifetimeSimCyclesPerSec)
+	}
+
+	// New completions re-populate the window at the windowed divisor.
+	m.noteFinished(monitorRateWindow.Nanoseconds()) // value irrelevant, just non-zero
+	st = m.Status()
+	if st.SimCyclesPerSec <= 0 {
+		t.Errorf("windowed rate after fresh completion = %v, want > 0", st.SimCyclesPerSec)
+	}
+}
+
+// TestMonitorInjectedIsolation pins the per-Params monitor: a sweep with
+// an explicit Monitor must not leak state into the process default.
+func TestMonitorInjectedIsolation(t *testing.T) {
+	ResetMetrics()
+	defer ResetMetrics()
+	p := forkTestParams()
+	p.Monitor = NewMonitor()
+	if _, err := runMany(p, policyJobs([]string{"bfs"},
+		[]config.Policy{config.PolicyBaseline})); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Monitor.Status()
+	if st.UptimeSeconds <= 0 || st.LifetimeSimCyclesPerSec <= 0 {
+		t.Errorf("injected monitor saw no work: uptime=%v rate=%v",
+			st.UptimeSeconds, st.LifetimeSimCyclesPerSec)
+	}
+	def := DefaultMonitor().Status()
+	if def.UptimeSeconds != 0 || def.LifetimeSimCyclesPerSec != 0 {
+		t.Errorf("sweep leaked into the default monitor: uptime=%v rate=%v",
+			def.UptimeSeconds, def.LifetimeSimCyclesPerSec)
+	}
+}
+
+// TestMonitorConcurrentScrape hammers begin/end/finish bookkeeping from
+// several goroutines while others scrape Status and /metrics — the race
+// detector is the real assertion.
+func TestMonitorConcurrentScrape(t *testing.T) {
+	m := NewMonitor()
+	m.SetTracer(sweepobs.New())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j := job{workload: "w", variant: fmt.Sprintf("g%d-%d", g, i)}
+				m.beginJob(j)
+				m.noteFinished(10)
+				m.endJob(j)
+			}
+		}(g)
+	}
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m.Status()
+				var b strings.Builder
+				if err := m.WriteMetrics(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sweepobs.ValidateExposition(b.String()); err != nil {
+					t.Errorf("mid-sweep scrape invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.Status()
+	if len(st.Active) != 0 {
+		t.Errorf("%d jobs still active after the storm", len(st.Active))
+	}
+	if st.LifetimeSimCyclesPerSec <= 0 {
+		t.Errorf("lifetime rate = %v after %d completions", st.LifetimeSimCyclesPerSec, 4*200)
+	}
+}
+
+// TestMonitorMetricsEndpoint runs a traced sweep against an injected
+// monitor and checks the /metrics exposition (through the independent
+// parser), the span-derived stage totals on /status, and that the pprof
+// endpoints answer on the same mux.
+func TestMonitorMetricsEndpoint(t *testing.T) {
+	ResetMetrics()
+	defer ResetMetrics()
+	tr := sweepobs.New()
+	mon := NewMonitor()
+	mon.SetTracer(tr)
+	p := DefaultParams()
+	p.Config = config.Small()
+	p.Dilute = 60
+	p.Trace = tr
+	p.Monitor = mon
+	if _, err := runMany(p, policyJobs([]string{"bfs"},
+		[]config.Policy{config.PolicyBaseline, config.PolicyVT})); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := sweepobs.ValidateExposition(string(body))
+	if err != nil {
+		t.Fatalf("/metrics exposition invalid: %v\n%s", err, body)
+	}
+	if samples["vtsweep_runs_executed_total"] < 2 {
+		t.Errorf("vtsweep_runs_executed_total = %v, want >= 2", samples["vtsweep_runs_executed_total"])
+	}
+	for _, series := range []string{
+		`vtsweep_spans_total{kind="job"}`,
+		`vtsweep_spans_total{kind="execute"}`,
+		`vtsweep_span_seconds_count{kind="job"}`,
+	} {
+		if samples[series] < 2 {
+			t.Errorf("%s = %v, want >= 2", series, samples[series])
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st MonitorStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stages["execute"].Count < 2 || st.Stages["execute"].Seconds <= 0 {
+		t.Errorf("stage totals missing execute: %+v", st.Stages)
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, resp.StatusCode)
+		}
 	}
 }

@@ -89,6 +89,21 @@ type attempt struct {
 // checkpoint donor (capture while the fork guard holds) or a fork (resume
 // from spec.ck instead of cycle zero).
 func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool, spec *forkSpec) (a attempt) {
+	eid := p.Trace.Begin(p.span, "execute", j.workload, j.variant)
+	if safeMode {
+		p.Trace.SetAttr(eid, "safe_mode", "true")
+	}
+	if spec != nil {
+		if spec.capture {
+			p.Trace.SetAttr(eid, "fork_donor", "true")
+		}
+		if spec.ck != nil {
+			p.Trace.SetAttr(eid, "forked_from", spec.forkedFrom)
+			p.Trace.SetAttr(eid, "resume_cycle", fmt.Sprint(spec.ck.Cycle))
+		}
+	}
+	// One deferred closure handles both panic recovery and span close,
+	// so the outcome attrs are final before End records the duration.
 	defer func() {
 		if r := recover(); r != nil {
 			a.res = nil
@@ -96,6 +111,22 @@ func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool, spec *fork
 			a.panicked = true
 			a.stack = string(debug.Stack())
 		}
+		switch {
+		case a.panicked:
+			p.Trace.SetAttr(eid, "outcome", "panic")
+		case a.err != nil:
+			p.Trace.SetAttr(eid, "outcome", "error")
+		default:
+			p.Trace.SetAttr(eid, "outcome", "ok")
+		}
+		if a.res != nil && a.res.Sampling != nil {
+			p.Trace.SetAttr(eid, "sampled", "true")
+		}
+		if a.ck != nil {
+			p.Trace.Event(eid, "fork.capture", j.workload, j.variant,
+				"cycle", fmt.Sprint(a.ck.Cycle))
+		}
+		p.Trace.End(eid)
 	}()
 	w, err := kernels.Build(j.workload, p.Scale)
 	if err != nil {
@@ -197,6 +228,14 @@ func retryable(a attempt) bool {
 	return d != nil && d.Reason == gpu.ReasonInvariant
 }
 
+// firstFailureReason labels a retryable failure for the trace event.
+func firstFailureReason(a attempt) string {
+	if a.panicked {
+		return "panic"
+	}
+	return "invariant"
+}
+
 // bumpMetric applies a counter update under the metrics lock.
 func bumpMetric(f func(*RunMetrics)) {
 	memoMu.Lock()
@@ -204,8 +243,9 @@ func bumpMetric(f func(*RunMetrics)) {
 	f(&memoStats)
 }
 
-// countFirstFailure classifies a first-attempt failure into the metrics.
-func countFirstFailure(a attempt) {
+// countFirstFailure classifies a first-attempt failure into the metrics
+// and emits the matching supervisor trace event under the job span.
+func countFirstFailure(p Params, j job, a attempt) {
 	bumpMetric(func(m *RunMetrics) {
 		switch d := gpu.DiagnosticOf(a.err); {
 		case a.panicked:
@@ -216,6 +256,14 @@ func countFirstFailure(a attempt) {
 			m.Deadlines++
 		}
 	})
+	switch d := gpu.DiagnosticOf(a.err); {
+	case a.panicked:
+		p.Trace.Event(p.span, "supervisor.panic", j.workload, j.variant)
+	case d != nil && d.Reason == gpu.ReasonInvariant:
+		p.Trace.Event(p.span, "supervisor.invariant", j.workload, j.variant)
+	case d != nil && d.Reason == gpu.ReasonDeadline:
+		p.Trace.Event(p.span, "supervisor.deadline", j.workload, j.variant)
+	}
 }
 
 // supervisedExecute runs one job through the supervisor: attempt, retry
@@ -247,13 +295,15 @@ func supervisedExecuteFork(p Params, j job, cfg config.GPUConfig, fp string, spe
 		p.journalRecord(j, fp, "ok", 1, first.res, nil, forkedFrom)
 		return first.res, nil
 	}
-	countFirstFailure(first)
+	countFirstFailure(p, j, first)
 
 	attempts := 1
 	retried := false
 	var second attempt
 	if retryable(first) {
 		bumpMetric(func(m *RunMetrics) { m.Retries++ })
+		p.Trace.Event(p.span, "supervisor.retry", j.workload, j.variant,
+			"reason", firstFailureReason(first))
 		retried = true
 		second = runAttempt(p, j, cfg, true, spec)
 		attempts = 2
@@ -356,7 +406,14 @@ func (p Params) journalRecord(j job, fp, status string, attempts int, res *gpu.R
 			tx.Append(JournalFileName, b)
 		}
 	}
+	txSpan := p.Trace.Begin(p.span, "store.tx", j.workload, j.variant)
 	commitStoreTx(tx)
+	// File the commit protocol's self-timed WAL phases (stage, commit,
+	// apply, replicate) as children of the transaction span.
+	for _, ph := range tx.Phases() {
+		p.Trace.Record(txSpan, "store."+ph.Name, j.workload, j.variant, ph.Start, ph.Dur)
+	}
+	p.Trace.End(txSpan)
 	if entry != nil {
 		// The line is durable (or best-effort failed) via the transaction;
 		// only the in-memory status map still needs the update.

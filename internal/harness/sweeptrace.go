@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/resultstore"
+	"repro/internal/sweepobs"
+)
+
+// Sweep-trace persistence: the span dump of a traced sweep is stored
+// through the result store as a vtart- artifact, so traces commit with
+// the same durability (WAL, checksums, mirror replication) as results
+// and survive for later `vtreport -tracepath <storedir>` analysis.
+
+// SweepTraceArtifactKey is the artifact key (and so the on-disk object
+// name, vtart-sweeptrace.json) of the persisted sweep trace. One per
+// store: a re-run overwrites the previous sweep's trace.
+const SweepTraceArtifactKey = "sweeptrace"
+
+// PersistSweepTrace commits the dump into p's result store as a
+// segmented artifact blob. No-op without a store or a dump; returns the
+// commit error so the caller can report (not fail) the sweep.
+func PersistSweepTrace(p Params, d *sweepobs.Dump) error {
+	st := storeFor(p)
+	if st == nil || d == nil {
+		return nil
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	tx := st.Begin()
+	if err := tx.PutBlob(resultstore.KindArtifact, SweepTraceArtifactKey, bytes.NewReader(b)); err != nil {
+		return err
+	}
+	return storeRetry(tx.Commit)
+}
+
+// LoadSweepTrace reads a persisted sweep trace back from a store
+// directory (vtreport's -tracepath with a directory argument). The
+// store is opened read-mostly and closed again; mirror may be empty.
+func LoadSweepTrace(dir, mirror string) (*sweepobs.Dump, error) {
+	st, err := resultstore.Open(resultstore.Options{Dir: dir, Mirror: mirror})
+	if err != nil {
+		return nil, fmt.Errorf("open store %s: %w", dir, err)
+	}
+	defer st.Close()
+	b, err := st.GetBlob(resultstore.KindArtifact, SweepTraceArtifactKey)
+	if err != nil {
+		return nil, fmt.Errorf("read sweep trace from %s: %w", dir, err)
+	}
+	var d sweepobs.Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("decode sweep trace: %w", err)
+	}
+	if d.SchemaVersion != sweepobs.DumpSchemaVersion {
+		return nil, fmt.Errorf("sweep trace schema %d (want %d)", d.SchemaVersion, sweepobs.DumpSchemaVersion)
+	}
+	return &d, nil
+}

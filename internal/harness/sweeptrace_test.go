@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/faultinject"
+	"repro/internal/sweepobs"
+)
+
+// TestSweepTraceEndToEnd is the observability acceptance run: a mirrored,
+// prefix-forked swap-latency sweep with one injected safe-mode retry must
+// produce a span dump that (a) covers the fork lineage and the store's
+// WAL phases, (b) survives the coverage and critical-path invariants of
+// sweepobs.Analyze, and (c) round-trips through the result store as a
+// vtart- artifact.
+func TestSweepTraceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	ResetMetrics()
+	defer ResetMetrics()
+
+	dir, mirror := t.TempDir(), t.TempDir()
+	tr := sweepobs.New()
+	p := forkTestParams()
+	p.Checkpoint = true
+	p.CacheDir = dir
+	p.MirrorDir = mirror
+	p.Trace = tr
+	p.Monitor = NewMonitor()
+	// One deterministic first-attempt panic: the nw/vt singleton trips the
+	// supervisor, retries in safe mode, and finishes degraded.
+	p.Inject = &faultinject.Spec{Workload: "nw", Variant: "vt", Cycle: 100,
+		Kind: faultinject.PanicOnce}
+
+	jobs := swapLatJobs("pathfinder", []int{0, 64, 256})
+	jobs = append(jobs, job{
+		workload: "nw",
+		variant:  "vt",
+		mutate:   func(c *config.GPUConfig) { c.Policy = config.PolicyVT },
+	})
+	if _, err := runMany(p, jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	d := tr.Dump()
+	if d == nil || len(d.Spans) == 0 {
+		t.Fatal("traced sweep produced an empty dump")
+	}
+	if d.Workers < 1 || d.Workers > 2 {
+		t.Errorf("workers high-water = %d, want 1..2", d.Workers)
+	}
+
+	kinds := map[string]int{}
+	forked := 0
+	for _, s := range d.Spans {
+		kinds[s.Kind]++
+		if s.Kind == "execute" && s.Attrs["forked_from"] != "" {
+			forked++
+			if s.Attrs["resume_cycle"] == "" {
+				t.Errorf("forked execute span missing resume_cycle: %+v", s.Attrs)
+			}
+		}
+	}
+	if kinds["plan"] != 1 {
+		t.Errorf("plan spans = %d, want 1", kinds["plan"])
+	}
+	if kinds["job"] != len(jobs) {
+		t.Errorf("job spans = %d, want %d", kinds["job"], len(jobs))
+	}
+	// 3 sweep points + the singleton, plus the injected job's safe-mode
+	// retry attempt.
+	if kinds["execute"] < len(jobs)+1 {
+		t.Errorf("execute spans = %d, want >= %d", kinds["execute"], len(jobs)+1)
+	}
+	if forked != 2 {
+		t.Errorf("forked execute spans = %d, want 2 (donor plus two forks)", forked)
+	}
+	if kinds["fork.capture"] == 0 {
+		t.Error("donor emitted no fork.capture event")
+	}
+	if kinds["fork.ckstore"] != 1 {
+		t.Errorf("fork.ckstore spans = %d, want 1", kinds["fork.ckstore"])
+	}
+	if kinds["store.get"] == 0 {
+		t.Error("no store.get lookup spans recorded")
+	}
+	if kinds["store.tx"] == 0 {
+		t.Error("no store.tx spans recorded")
+	}
+	for _, ph := range []string{"store.stage", "store.commit", "store.apply", "store.replicate"} {
+		if kinds[ph] == 0 {
+			t.Errorf("no %s WAL-phase spans (mirrored store)", ph)
+		}
+	}
+	if kinds["supervisor.panic"] != 1 || kinds["supervisor.retry"] != 1 {
+		t.Errorf("supervisor events: %d panics, %d retries, want 1 each",
+			kinds["supervisor.panic"], kinds["supervisor.retry"])
+	}
+
+	// Critical-path analysis: spans must cover (almost all of) the wall
+	// clock and the path must tile it exactly.
+	a := sweepobs.Analyze(d)
+	if a == nil {
+		t.Fatal("Analyze returned nil for a populated dump")
+	}
+	if a.Coverage < 0.95 {
+		t.Errorf("span coverage = %.3f, want >= 0.95", a.Coverage)
+	}
+	var pathNS int64
+	for _, s := range a.Path {
+		pathNS += s.DurNS
+	}
+	if pathNS != d.WallNS {
+		t.Errorf("critical path sums to %d ns, wall is %d ns", pathNS, d.WallNS)
+	}
+	stages := map[string]bool{}
+	for _, b := range a.Breakdown {
+		stages[b.Stage] = true
+	}
+	if !stages["execute"] {
+		t.Errorf("breakdown missing execute stage: %+v", a.Breakdown)
+	}
+
+	// Persist through the store (both replicas), then read back cold.
+	if err := PersistSweepTrace(p, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range []string{dir, mirror} {
+		if _, err := os.Stat(filepath.Join(root, "vtart-sweeptrace.json")); err != nil {
+			t.Errorf("persisted trace missing in %s: %v", root, err)
+		}
+	}
+	ResetMetrics() // close the sweep's store handles before reopening
+	got, err := LoadSweepTrace(dir, mirror)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != sweepobs.DumpSchemaVersion {
+		t.Errorf("schema = %d, want %d", got.SchemaVersion, sweepobs.DumpSchemaVersion)
+	}
+	if len(got.Spans) != len(d.Spans) || got.WallNS != d.WallNS {
+		t.Errorf("round-trip mismatch: %d spans wall %d, want %d spans wall %d",
+			len(got.Spans), got.WallNS, len(d.Spans), d.WallNS)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/faultinject"
 )
@@ -370,5 +371,58 @@ func TestTornAppendDoesNotSwallowNextLine(t *testing.T) {
 	}
 	if lines[2] != `{"fp":"next","status":"ok"}` {
 		t.Fatalf("appended line damaged: %q", lines[2])
+	}
+}
+
+func TestCommitPhaseTimings(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), Mirror: t.TempDir()})
+	tx := s.Begin()
+	if tx.Phases() != nil {
+		t.Fatalf("phases before commit: %v", tx.Phases())
+	}
+	tx.Put(KindResult, "abc", []byte(`{"x":1}`))
+	tx.Append("journal.jsonl", []byte(`{"line":1}`))
+	mustCommit(t, tx)
+
+	ph := tx.Phases()
+	var names []string
+	for _, p := range ph {
+		names = append(names, p.Name)
+		if p.Start.IsZero() || p.Dur < 0 {
+			t.Fatalf("phase %s has bogus timing: %+v", p.Name, p)
+		}
+	}
+	want := []string{"stage", "commit", "apply", "replicate"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("phases = %v, want %v", names, want)
+	}
+	// Phases tile: each starts where the previous ended (same captured
+	// instant), so summed durations cover the whole protocol. Allow a
+	// microsecond of wall-vs-monotonic rounding.
+	for i := 1; i < len(ph); i++ {
+		gap := ph[i].Start.Sub(ph[i-1].Start.Add(ph[i-1].Dur))
+		if gap < -time.Microsecond || gap > time.Microsecond {
+			t.Fatalf("phase %s start gap %v from previous end", ph[i].Name, gap)
+		}
+	}
+
+	// A second commit on the same Tx (retry semantics) replaces the
+	// timings instead of appending.
+	mustCommit(t, tx)
+	if n := len(tx.Phases()); n != 4 {
+		t.Fatalf("phases after recommit = %d, want 4", n)
+	}
+
+	// Without a mirror there is no replicate phase.
+	s2 := mustOpen(t, Options{Dir: t.TempDir()})
+	tx2 := s2.Begin()
+	tx2.Put(KindResult, "solo", []byte(`{}`))
+	mustCommit(t, tx2)
+	names = names[:0]
+	for _, p := range tx2.Phases() {
+		names = append(names, p.Name)
+	}
+	if strings.Join(names, ",") != "stage,commit,apply" {
+		t.Fatalf("unmirrored phases = %v", names)
 	}
 }

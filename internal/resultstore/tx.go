@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // manifest is one transaction's redo record: everything needed to roll
@@ -56,8 +57,32 @@ type txOp struct {
 // safe for concurrent use; Commit may be retried after a transient
 // error (the operations are retained until a commit succeeds).
 type Tx struct {
-	s   *Store
-	ops []txOp
+	s      *Store
+	ops    []txOp
+	phases []TxPhase
+}
+
+// TxPhase is the wall-clock timing of one commit-protocol phase:
+// "stage" (checksummed staging writes), "commit" (redo record write +
+// the commit-point rename), "apply" (staged files renamed into place
+// and indexed), "replicate" (mirror copy-through). Observability-only;
+// the harness tracer files these as store.* spans.
+type TxPhase struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Phases returns the phase timings of the most recent Commit attempt
+// (nil before the first). The returned slice is owned by the Tx.
+func (t *Tx) Phases() []TxPhase { return t.phases }
+
+// phase appends one timing. now is captured by the caller at phase
+// start so a phase's Start lines up with the previous phase's end.
+func (t *Tx) phase(name string, start time.Time) time.Time {
+	end := time.Now()
+	t.phases = append(t.phases, TxPhase{Name: name, Start: start, Dur: end.Sub(start)})
+	return end
 }
 
 // Begin starts a transaction.
@@ -112,6 +137,8 @@ func (t *Tx) Commit() error {
 	if len(t.ops) == 0 {
 		return nil
 	}
+	t.phases = nil // fresh timings per attempt
+	phaseStart := time.Now()
 	s := t.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -163,6 +190,7 @@ func (t *Tx) Commit() error {
 		}
 		m.Ops = append(m.Ops, mo)
 	}
+	phaseStart = t.phase("stage", phaseStart)
 	mb, err := json.Marshal(&m)
 	if err != nil {
 		return rollback(err)
@@ -175,10 +203,13 @@ func (t *Tx) Commit() error {
 	if err := s.fs.rename(redoPath, commitPath); err != nil {
 		return rollback(fmt.Errorf("resultstore: commit %s: %w", txid, err))
 	}
+	phaseStart = t.phase("commit", phaseStart)
 	s.counters.Commits++
 	ok := s.applyManifest(sd, &m)
+	phaseStart = t.phase("apply", phaseStart)
 	if other := s.otherHealthy(sd); ok && other != nil {
 		ok = s.replicate(sd, other, &m)
+		t.phase("replicate", phaseStart)
 	}
 	if ok {
 		os.Remove(commitPath)

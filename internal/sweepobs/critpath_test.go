@@ -1,0 +1,168 @@
+package sweepobs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// synthDump builds a 2-worker sweep with a known critical path:
+//
+//	slot 0: job A [10ms, 60ms], then job C [60ms, 100ms]
+//	slot 1: job B [10ms, 40ms]
+//	wall: 105ms (5ms tail after C)
+//
+// Critical path: wait 10ms → A (50ms) → C (40ms) → wait 5ms = 105ms.
+func synthDump(t *testing.T) *Dump {
+	t.Helper()
+	tr, clk := newTestTracer()
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+	eid := tr.Begin(0, "experiment", "fig-swaplat", "")
+	clk.advance(ms(10))
+	a := tr.BeginJob(eid, "bfs", "vt")
+	b := tr.BeginJob(eid, "spmv", "baseline")
+	axe := tr.Begin(a, "execute", "bfs", "vt")
+	clk.advance(ms(30))
+	tr.EndJob(b)
+	clk.advance(ms(20))
+	tr.End(axe)
+	tr.EndJob(a)
+	c := tr.BeginJob(eid, "lud", "lat64")
+	clk.advance(ms(40))
+	tr.EndJob(c)
+	clk.advance(ms(5))
+	tr.End(eid)
+	return tr.Dump()
+}
+
+func TestAnalyzeCriticalPath(t *testing.T) {
+	d := synthDump(t)
+	a := Analyze(d)
+	if a == nil {
+		t.Fatal("nil analysis")
+	}
+	if a.Jobs != 3 || a.Workers != 2 {
+		t.Fatalf("jobs=%d workers=%d", a.Jobs, a.Workers)
+	}
+
+	var labels []string
+	for _, st := range a.Path {
+		labels = append(labels, st.Label())
+	}
+	want := []string{"(wait)", "bfs/vt", "lud/lat64", "(wait)"}
+	if strings.Join(labels, " ") != strings.Join(want, " ") {
+		t.Fatalf("path = %v, want %v", labels, want)
+	}
+
+	// Path must sum exactly to wall-clock.
+	var sum int64
+	for _, st := range a.Path {
+		sum += st.DurNS
+	}
+	if sum != d.WallNS {
+		t.Fatalf("path sum %d != wall %d", sum, d.WallNS)
+	}
+	if math.Abs(a.PathSeconds-a.WallSeconds) > 1e-9 {
+		t.Fatalf("PathSeconds %v != WallSeconds %v", a.PathSeconds, a.WallSeconds)
+	}
+
+	// Coverage: experiment span covers the whole wall.
+	if a.Coverage < 0.999 {
+		t.Fatalf("coverage = %v, want ~1", a.Coverage)
+	}
+
+	// Breakdown self-time: execute 50ms; job.other = (50-50) + 30 + 40
+	// = 70ms; experiment self = 105 - jobs(120) clamps at 0... compute:
+	// experiment dur 105ms minus children (50+30+40=120ms) → clamped 0.
+	got := map[string]float64{}
+	for _, st := range a.Breakdown {
+		got[st.Stage] = st.Seconds
+	}
+	if math.Abs(got["execute"]-0.05) > 1e-9 {
+		t.Fatalf("execute self = %v, want 0.05", got["execute"])
+	}
+	if math.Abs(got["job.other"]-0.07) > 1e-9 {
+		t.Fatalf("job.other self = %v, want 0.07", got["job.other"])
+	}
+	if got["experiment"] != 0 {
+		t.Fatalf("experiment self = %v, want 0 (clamped)", got["experiment"])
+	}
+}
+
+func TestAnalyzeStragglers(t *testing.T) {
+	tr, clk := newTestTracer()
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	for i, dur := range []int{10, 10, 10, 10, 50} {
+		j := tr.BeginJob(0, "bfs", []string{"a", "b", "c", "d", "slow"}[i])
+		clk.advance(ms(dur))
+		tr.EndJob(j)
+	}
+	a := Analyze(tr.Dump())
+	if len(a.Stragglers) != 1 {
+		t.Fatalf("stragglers = %+v, want 1", a.Stragglers)
+	}
+	s := a.Stragglers[0]
+	if s.Variant != "slow" || s.Ratio != 5 {
+		t.Fatalf("straggler = %+v", s)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if a := Analyze(nil); a != nil {
+		t.Fatalf("Analyze(nil) = %+v", a)
+	}
+	if a := Analyze(&Dump{}); a != nil {
+		t.Fatalf("Analyze(empty) = %+v", a)
+	}
+}
+
+func TestWritePerfettoDecodes(t *testing.T) {
+	d := synthDump(t)
+	var b strings.Builder
+	if err := WritePerfetto(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *int64         `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	names := map[string]bool{}
+	var jobPids []int
+	for _, e := range doc.TraceEvents {
+		if e.Ts == nil || e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %q missing structural field", e.Name)
+		}
+		if e.Ph == "M" && e.Name == "process_name" {
+			names[e.Args["name"].(string)] = true
+		}
+		if e.Ph == "X" && e.Args["kind"] == "job" {
+			jobPids = append(jobPids, *e.Pid)
+		}
+	}
+	for _, want := range []string{"sweep", "worker 0", "worker 1"} {
+		if !names[want] {
+			t.Fatalf("missing process name %q (have %v)", want, names)
+		}
+	}
+	if len(jobPids) != 3 {
+		t.Fatalf("job events = %d, want 3", len(jobPids))
+	}
+	for _, pid := range jobPids {
+		if pid < 1 || pid > 2 {
+			t.Fatalf("job pid %d outside worker range", pid)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sweepobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Perfetto export of a sweep span dump, reusing the shared trace-event
+// encoder from internal/telemetry. Mapping:
+//
+//   - ts/dur are wall-clock µs from sweep start.
+//   - pid 0 is the sweep process (experiment/plan spans and anything
+//     not bound to a worker slot); pid s+1 is worker slot s.
+//   - tid 0 everywhere; nesting comes from span containment, which the
+//     trace viewer stacks within a track.
+//   - zero-duration events render with dur 1 µs so they stay visible.
+
+// WritePerfetto renders the dump as Chrome/Perfetto trace-event JSON.
+func WritePerfetto(w io.Writer, d *Dump) error {
+	if d == nil {
+		return telemetry.WriteTraceDocument(w, nil)
+	}
+	var meta []telemetry.TraceEvent
+	meta = append(meta, telemetry.TraceEvent{Name: "process_name", Ph: "M", Pid: 0,
+		StrArgs: map[string]string{"name": "sweep"}})
+	for s := 0; s < d.Workers; s++ {
+		meta = append(meta, telemetry.TraceEvent{Name: "process_name", Ph: "M", Pid: s + 1,
+			StrArgs: map[string]string{"name": fmt.Sprintf("worker %d", s)}})
+	}
+
+	ev := make([]telemetry.TraceEvent, 0, len(d.Spans))
+	for _, sp := range d.Spans {
+		pid := 0
+		if sp.Slot >= 0 {
+			pid = sp.Slot + 1
+		}
+		name := sp.Kind
+		if sp.Kind == "job" && sp.Workload != "" {
+			name = sp.Workload + "/" + sp.Variant
+		}
+		args := map[string]string{"kind": sp.Kind}
+		if sp.Workload != "" {
+			args["workload"] = sp.Workload
+		}
+		if sp.Variant != "" {
+			args["variant"] = sp.Variant
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		dur := sp.DurNS / 1000
+		if dur < 1 {
+			dur = 1
+		}
+		ev = append(ev, telemetry.TraceEvent{
+			Name: name, Ph: "X",
+			Ts: sp.StartNS / 1000, Dur: dur,
+			Pid: pid, Tid: 0, StrArgs: args,
+		})
+	}
+	sort.SliceStable(ev, func(a, b int) bool {
+		if ev[a].Ts != ev[b].Ts {
+			return ev[a].Ts < ev[b].Ts
+		}
+		if ev[a].Pid != ev[b].Pid {
+			return ev[a].Pid < ev[b].Pid
+		}
+		return ev[a].Dur > ev[b].Dur // parents before children at same ts
+	})
+	return telemetry.WriteTraceDocument(w, append(meta, ev...))
+}

@@ -1,7 +1,6 @@
 package telemetry
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -18,8 +17,9 @@ import (
 //     2 = swap-in spans, 10+k = CTA residence on warp slot k.
 //   - spans are ph "X" complete events, counters ph "C", names ph "M".
 //
-// All fields are emitted explicitly (no omitempty) so zero-valued ts,
-// pid, and tid survive encoding.
+// The wire encoding (explicit fields, merged args) is the shared
+// TraceEvent encoder in traceevent.go, which the sweep-level exporter
+// in internal/sweepobs reuses with its own pid/tid mapping.
 
 const (
 	pfTidSleep   = 0
@@ -28,39 +28,18 @@ const (
 	pfTidSlot0   = 10
 )
 
-// pfEvent is one trace event. encoding/json sorts map keys, so Args
-// marshal deterministically.
-type pfEvent struct {
-	Name string             `json:"name"`
-	Ph   string             `json:"ph"`
-	Ts   int64              `json:"ts"`
-	Dur  int64              `json:"dur"`
-	Pid  int                `json:"pid"`
-	Tid  int                `json:"tid"`
-	Args map[string]float64 `json:"args,omitempty"`
-}
-
 // WritePerfetto renders the collected telemetry as Chrome/Perfetto
 // trace-event JSON. Call after the run. Output is deterministic.
 func (c *Collector) WritePerfetto(w io.Writer) error {
-	var ev []pfEvent
+	var ev []TraceEvent
 
-	// Process names. Metadata name args are strings, which pfEvent's
-	// numeric Args can't carry, so metadata events are built separately.
-	type pfNameEvent struct {
-		Name string            `json:"name"`
-		Ph   string            `json:"ph"`
-		Ts   int64             `json:"ts"`
-		Pid  int               `json:"pid"`
-		Tid  int               `json:"tid"`
-		Args map[string]string `json:"args"`
-	}
-	var meta []pfNameEvent
-	meta = append(meta, pfNameEvent{Name: "process_name", Ph: "M", Pid: 0,
-		Args: map[string]string{"name": fmt.Sprintf("GPU (%s, %s)", c.kernel, c.policy)}})
+	// Process names.
+	var meta []TraceEvent
+	meta = append(meta, TraceEvent{Name: "process_name", Ph: "M", Pid: 0,
+		StrArgs: map[string]string{"name": fmt.Sprintf("GPU (%s, %s)", c.kernel, c.policy)}})
 	for i := 0; i < c.numSMs; i++ {
-		meta = append(meta, pfNameEvent{Name: "process_name", Ph: "M", Pid: i + 1,
-			Args: map[string]string{"name": fmt.Sprintf("SM %d", i)}})
+		meta = append(meta, TraceEvent{Name: "process_name", Ph: "M", Pid: i + 1,
+			StrArgs: map[string]string{"name": fmt.Sprintf("SM %d", i)}})
 	}
 
 	// Spans. Collect the (pid, tid) pairs in use so thread names cover
@@ -86,7 +65,7 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 			if dur < 1 {
 				dur = 1
 			}
-			ev = append(ev, pfEvent{Name: name, Ph: "X", Ts: sp.Start, Dur: dur,
+			ev = append(ev, TraceEvent{Name: name, Ph: "X", Ts: sp.Start, Dur: dur,
 				Pid: pid, Tid: tid})
 			tracks[track{pid, tid}] = ""
 		}
@@ -103,8 +82,8 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 		default:
 			name = fmt.Sprintf("slot %d", t.tid-pfTidSlot0)
 		}
-		meta = append(meta, pfNameEvent{Name: "thread_name", Ph: "M",
-			Pid: t.pid, Tid: t.tid, Args: map[string]string{"name": name}})
+		meta = append(meta, TraceEvent{Name: "thread_name", Ph: "M",
+			Pid: t.pid, Tid: t.tid, StrArgs: map[string]string{"name": name}})
 	}
 	sort.Slice(meta, func(a, b int) bool {
 		if meta[a].Pid != meta[b].Pid {
@@ -123,16 +102,16 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 		for _, w := range c.sms[i].ring {
 			ts := w.Cycle - w.Cycles
 			ev = append(ev,
-				pfEvent{Name: "warps", Ph: "C", Ts: ts, Pid: pid,
+				TraceEvent{Name: "warps", Ph: "C", Ts: ts, Pid: pid,
 					Args: map[string]float64{
 						"active":   float64(w.ActiveWarps),
 						"resident": float64(w.ResidentWarps),
 					}},
-				pfEvent{Name: "ipc", Ph: "C", Ts: ts, Pid: pid,
+				TraceEvent{Name: "ipc", Ph: "C", Ts: ts, Pid: pid,
 					Args: map[string]float64{"ipc": w.IPC()}},
 			)
 			if w.CtxBytes > 0 || w.SwapsInFlight > 0 {
-				ev = append(ev, pfEvent{Name: "vt", Ph: "C", Ts: ts, Pid: pid,
+				ev = append(ev, TraceEvent{Name: "vt", Ph: "C", Ts: ts, Pid: pid,
 					Args: map[string]float64{
 						"ctxBytes": float64(w.CtxBytes),
 						"inFlight": float64(w.SwapsInFlight),
@@ -144,7 +123,7 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 	for i, w := range gpu {
 		ts := w.Cycle - w.Cycles
 		args := map[string]float64{"ipc": w.IPC()}
-		ev = append(ev, pfEvent{Name: "gpu ipc", Ph: "C", Ts: ts, Pid: 0, Args: args})
+		ev = append(ev, TraceEvent{Name: "gpu ipc", Ph: "C", Ts: ts, Pid: 0, Args: args})
 		mw := c.mem[i]
 		m := map[string]float64{}
 		if mw.L1Accesses > 0 {
@@ -154,7 +133,7 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 			m["l2"] = float64(mw.L2Hits) / float64(mw.L2Accesses)
 		}
 		if len(m) > 0 {
-			ev = append(ev, pfEvent{Name: "hit rate", Ph: "C", Ts: ts, Pid: 0, Args: m})
+			ev = append(ev, TraceEvent{Name: "hit rate", Ph: "C", Ts: ts, Pid: 0, Args: m})
 		}
 	}
 
@@ -171,43 +150,5 @@ func (c *Collector) WritePerfetto(w io.Writer) error {
 		return ev[a].Name < ev[b].Name
 	})
 
-	// Marshal by hand-stitching the two event slices into one array so
-	// the document stays a single {"traceEvents": [...]} object.
-	enc, err := json.Marshal(meta)
-	if err != nil {
-		return err
-	}
-	body, err := json.Marshal(ev)
-	if err != nil {
-		return err
-	}
-	if _, err := io.WriteString(w, `{"traceEvents":`); err != nil {
-		return err
-	}
-	// Join "[meta...]" and "[body...]" unless one side is empty.
-	switch {
-	case string(enc) == "null" || string(enc) == "[]":
-		if string(body) == "null" {
-			body = []byte("[]")
-		}
-		if _, err := w.Write(body); err != nil {
-			return err
-		}
-	case string(body) == "null" || string(body) == "[]":
-		if _, err := w.Write(enc); err != nil {
-			return err
-		}
-	default:
-		if _, err := w.Write(enc[:len(enc)-1]); err != nil {
-			return err
-		}
-		if _, err := io.WriteString(w, ","); err != nil {
-			return err
-		}
-		if _, err := w.Write(body[1:]); err != nil {
-			return err
-		}
-	}
-	_, err = io.WriteString(w, "}\n")
-	return err
+	return WriteTraceDocument(w, append(meta, ev...))
 }

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Shared Chrome/Perfetto trace-event JSON encoding. Both timeline
+// exporters in this codebase — the simulator telemetry export below
+// (one pid per SM) and the sweep-level span export in internal/sweepobs
+// (one pid per worker slot) — emit the same document shape, so the wire
+// struct and the document writer live here once.
+//
+// TraceEvent keeps the structural fields explicit (no omitempty): a
+// zero ts, pid, or dur is a value the viewer needs, not an absence.
+// Args carries numeric counter samples, StrArgs carries string
+// annotations (span attributes, process names); both render into the
+// single "args" object, merged and key-sorted by encoding/json.
+
+// TraceEvent is one trace event in the Chrome "JSON trace format",
+// which ui.perfetto.dev opens directly.
+type TraceEvent struct {
+	Name    string
+	Ph      string // "X" complete span, "C" counter, "M" metadata, "i" instant
+	Ts      int64  // µs
+	Dur     int64  // µs
+	Pid     int
+	Tid     int
+	Args    map[string]float64
+	StrArgs map[string]string
+}
+
+// traceEventWire is the explicit-field JSON layout.
+type traceEventWire struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// MarshalJSON merges Args and StrArgs into one "args" object (omitted
+// when both are empty). encoding/json sorts map keys, so the output is
+// deterministic.
+func (e TraceEvent) MarshalJSON() ([]byte, error) {
+	w := traceEventWire{Name: e.Name, Ph: e.Ph, Ts: e.Ts, Dur: e.Dur, Pid: e.Pid, Tid: e.Tid}
+	if len(e.Args) > 0 || len(e.StrArgs) > 0 {
+		w.Args = make(map[string]any, len(e.Args)+len(e.StrArgs))
+		for k, v := range e.Args {
+			w.Args[k] = v
+		}
+		for k, v := range e.StrArgs {
+			w.Args[k] = v
+		}
+	}
+	return json.Marshal(&w)
+}
+
+// WriteTraceDocument writes the events as a single
+// {"traceEvents": [...]} document. The caller orders the slice
+// (metadata first, then events by timestamp, by convention).
+func WriteTraceDocument(w io.Writer, events []TraceEvent) error {
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	body, err := json.Marshal(events)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, `{"traceEvents":`); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "}\n")
+	return err
+}
