@@ -48,6 +48,12 @@ type report struct {
 	SimCycles       int64   `json:"sim_cycles"`
 	SimCyclesPerSec float64 `json:"simcycles_per_sec"`
 
+	// Workers is how many execution contexts produced the record: local
+	// parallelism for a plain vtbench run, the fleet size for a vtsweepd
+	// coordinator record (whose simcycles_per_sec is the fleet
+	// aggregate). Zero in pre-fabric reports.
+	Workers int `json:"workers"`
+
 	// Experiments are the per-experiment records; compared informationally
 	// (never gated — diluted per-experiment rates are too noisy).
 	Experiments []expRecord `json:"experiments"`
@@ -140,6 +146,18 @@ func checkThroughput(w io.Writer, base, cur report, tolerance float64) error {
 	}
 	if skipped > 0 {
 		fmt.Fprintf(w, "benchcheck: skipped %d unpopulated record(s) (simcycles_per_sec: 0)\n", skipped)
+	}
+	// Multi-worker (sweep fabric) records report the fleet-aggregate
+	// rate; the gate below stays on that aggregate — distributed scale-out
+	// is exactly the throughput the record claims — but when the fleet
+	// sizes differ the per-worker rate is printed for context, so a "4
+	// workers barely beat 1" run is visible even while it passes.
+	if base.Workers > 0 && cur.Workers > 0 && base.Workers != cur.Workers {
+		fmt.Fprintf(w, "benchcheck: fleet size %d -> %d; per-worker %.0f -> %.0f simcycles/s (%.2fx)\n",
+			base.Workers, cur.Workers,
+			base.SimCyclesPerSec/float64(base.Workers),
+			cur.SimCyclesPerSec/float64(cur.Workers),
+			(cur.SimCyclesPerSec/float64(cur.Workers))/(base.SimCyclesPerSec/float64(base.Workers)))
 	}
 	floor := base.SimCyclesPerSec * (1 - tolerance)
 	ratio := cur.SimCyclesPerSec / base.SimCyclesPerSec

@@ -217,6 +217,81 @@ func TestSchemaV5StoreFieldsTolerated(t *testing.T) {
 	}
 }
 
+// TestMultiWorkerRecordAgainstSingleProcess pins the sweep-fabric
+// contract: a vtsweepd coordinator record (workers > 1, fleet-aggregate
+// simcycles_per_sec) gates against a single-process baseline on the
+// aggregate rate — a 4-worker fleet near 4x the baseline passes, a
+// fleet that somehow aggregates below the single-process floor fails —
+// and the differing fleet sizes are surfaced with a per-worker rate.
+func TestMultiWorkerRecordAgainstSingleProcess(t *testing.T) {
+	single := report{
+		SimCycles:       1_000_000,
+		SimCyclesPerSec: 1000,
+		Workers:         1,
+		Experiments:     []expRecord{{ID: "fig-swaplat", SimCycles: 1_000_000, SimCyclesPerSec: 1000}},
+	}
+	fleet := report{
+		SimCycles:       1_000_000,
+		SimCyclesPerSec: 3600, // 4 workers, ~3.6x aggregate
+		Workers:         4,
+		Experiments:     []expRecord{{ID: "fig-swaplat", SimCycles: 1_000_000, SimCyclesPerSec: 3600}},
+	}
+	var out strings.Builder
+	if err := checkThroughput(&out, single, fleet, 0.30); err != nil {
+		t.Fatalf("fleet aggregate above the baseline must pass: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fleet size 1 -> 4") {
+		t.Fatalf("fleet-size change not surfaced:\n%s", s)
+	}
+	if !strings.Contains(s, "per-worker") {
+		t.Fatalf("per-worker rate not surfaced:\n%s", s)
+	}
+
+	// The reverse comparison gates too: against a committed 4-worker
+	// baseline, a fleet whose aggregate collapsed fails the tolerance.
+	slowFleet := fleet
+	slowFleet.SimCyclesPerSec = 2000 // 0.56x of the 3600 baseline
+	if err := checkThroughput(&out, fleet, slowFleet, 0.30); err == nil {
+		t.Fatal("aggregate regression within a fleet must fail")
+	}
+
+	// Same fleet size on both sides: no fleet-size note, plain gating.
+	out.Reset()
+	if err := checkThroughput(&out, fleet, fleet, 0.30); err != nil {
+		t.Fatalf("identical fleet records must pass: %v", err)
+	}
+	if strings.Contains(out.String(), "fleet size") {
+		t.Fatalf("fleet-size note printed for identical sizes:\n%s", out.String())
+	}
+}
+
+// TestWorkersFieldDecodes: the workers field populates from vtbench and
+// vtsweepd reports, and its absence (old records) decodes to zero,
+// which suppresses the fleet comparison rather than dividing by it.
+func TestWorkersFieldDecodes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	doc := `{"schema_version": 5, "sim_cycles": 10, "simcycles_per_sec": 5.0, "workers": 4}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != 4 {
+		t.Fatalf("workers = %d, want 4", r.Workers)
+	}
+	old := report{SimCycles: 10, SimCyclesPerSec: 5, Workers: 0}
+	var out strings.Builder
+	if err := checkThroughput(&out, old, r, 0.30); err != nil {
+		t.Fatalf("worker-less baseline against fleet record: %v", err)
+	}
+	if strings.Contains(out.String(), "fleet size") {
+		t.Fatalf("fleet note printed despite zero-worker baseline:\n%s", out.String())
+	}
+}
+
 // TestLoadMissingFields: an old baseline lacking fields decodes to
 // zeros, which main() then rejects explicitly rather than dividing by
 // zero — check the decode half here.

@@ -21,10 +21,14 @@
 //	vtbench -telemetry                # collect per-run telemetry (totals in -json)
 //	vtbench -checkpoint               # prefix-fork sweep points that share a run prefix
 //	vtbench -checkpoint -forkcycle N  # pin the donor's capture to cycle >= N
+//	vtbench -worker http://host:7077  # join a vtsweepd fleet: pull jobs, stream results back
+//	vtbench -worker URL -slots 4      # ... holding four jobs at a time
 //
 // Exit codes: 0 on success, 1 on a fatal setup error, 3 when the sweep
 // completed but one or more runs failed (repro bundles in -faildir, the
-// completion journal marks them for -resume).
+// completion journal marks them for -resume). On SIGINT/SIGTERM the
+// sweep drains in-flight runs, flushes the journal and store, and exits
+// 128+signum (130/143); a second signal kills immediately.
 package main
 
 import (
@@ -37,13 +41,17 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	vtsim "repro"
+	"repro/internal/fabric"
 	"repro/internal/faultinject"
 	"repro/internal/gpu"
 	"repro/internal/harness"
@@ -170,6 +178,11 @@ func realMain() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
+
+		workerURL = flag.String("worker", "", "run as a sweep-fabric worker pulling jobs from this vtsweepd coordinator URL (e.g. http://host:7077)")
+		workerID  = flag.String("workerid", "", "worker name for leases and the fleet dashboard (default <host>-<pid>)")
+		slots     = flag.Int("slots", 0, "concurrent jobs a -worker holds (0 = GOMAXPROCS)")
+		dieAfter  = flag.Int("worker-die-after", 0, "fabric crash drill: exit(7) just before reporting the Nth completion (0 = never)")
 	)
 	flag.Parse()
 
@@ -179,6 +192,13 @@ func realMain() int {
 		}
 		return 0
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the sweep
+	// context — no new jobs dispatch, in-flight runs drain, journal and
+	// store transactions flush through the normal exit path — and a
+	// second signal falls back to the default disposition (kill).
+	ctx, stopSignals := signalContext("vtbench")
+	defer stopSignals()
 
 	// -store is the preferred name for the directory the transactional
 	// result store manages; -cachedir remains as the historical alias.
@@ -240,6 +260,7 @@ func realMain() int {
 	p.Telemetry = *telemetry
 	p.Checkpoint = *checkpoint
 	p.ForkCycle = *forkCycle
+	p.Ctx = ctx
 
 	if *sample != "" {
 		so, err := gpu.ParseSampling(*sample)
@@ -308,6 +329,12 @@ func realMain() int {
 		}
 		p.Inject = sp
 	}
+	if *workerURL != "" {
+		code := runWorkerMode(ctx, p, *workerURL, *workerID, *slots, *dieAfter)
+		stopMonitor()
+		return code
+	}
+
 	if *resume && *storeDir == "" {
 		return fatalf("-resume needs -store: the journal and the cached results live there")
 	}
@@ -472,7 +499,79 @@ func realMain() int {
 			return fatalf("memprofile: %v", err)
 		}
 	}
-	return exitCode
+	return signalExitCode(exitCode)
+}
+
+// termSignal records the terminating signal number (130-100=SIGINT 2,
+// SIGTERM 15) so the exit code preserves the conventional 128+signum.
+var termSignal atomic.Int32
+
+// signalContext returns a context canceled by the first SIGINT or
+// SIGTERM. The handler then detaches, so a second signal takes the
+// default disposition and kills the process immediately.
+func signalContext(prog string) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-ch
+		if !ok {
+			return
+		}
+		if sn, isSys := s.(syscall.Signal); isSys {
+			termSignal.Store(int32(sn))
+		} else {
+			termSignal.Store(int32(syscall.SIGINT))
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v: draining in-flight work, flushing journal/store (signal again to kill)\n", prog, s)
+		signal.Stop(ch)
+		cancel()
+	}()
+	return ctx, func() { signal.Stop(ch); cancel() }
+}
+
+// signalExitCode maps a signal-initiated shutdown to 128+signum,
+// preserving the sweep's own code otherwise.
+func signalExitCode(code int) int {
+	if sn := termSignal.Load(); sn != 0 {
+		return 128 + int(sn)
+	}
+	return code
+}
+
+// runWorkerMode joins a vtsweepd fleet: pull jobs, execute them through
+// the local supervised harness (with the local -store as cache), and
+// stream outcomes back. Exit 0 when the sweep completes, 130/143 on
+// graceful shutdown, 1 on error.
+func runWorkerMode(ctx context.Context, p vtsim.ExperimentParams, url, id string, slots, dieAfter int) int {
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	cfg := fabric.WorkerConfig{Coordinator: url, ID: id, Slots: slots, Params: p}
+	if dieAfter > 0 {
+		cfg.BeforeComplete = func(n int) {
+			if n >= dieAfter {
+				fmt.Fprintf(os.Stderr, "vtbench: worker %s exiting before completion %d (-worker-die-after drill)\n", id, n)
+				os.Exit(7)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vtbench: worker %s pulling from %s (%d slots)\n",
+		id, url, harness.ResolveWorkers(slots))
+	err := fabric.RunWorker(ctx, cfg)
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "vtbench: worker %s: sweep complete\n", id)
+		return 0
+	case errors.Is(err, context.Canceled):
+		return signalExitCode(0)
+	default:
+		return fatalf("worker: %v", err)
+	}
 }
 
 // writeSweepObservability flushes the tracer's span dump to the

@@ -1,0 +1,507 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/harness"
+)
+
+// DefaultLeaseTTL is how long a worker holds a job before the
+// coordinator reclaims it; workers renew at a fraction of this.
+const DefaultLeaseTTL = 10 * time.Second
+
+// Config configures a Coordinator.
+type Config struct {
+	// Params are the coordinator-side harness parameters: its result
+	// store (the fleet's shared cache and completion log), journal,
+	// monitor, and tracer. The Executor field is ignored — the
+	// coordinator installs its own.
+	Params harness.Params
+	// LeaseTTL overrides DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// now is the test clock seam.
+	now func() time.Time
+}
+
+type jobState int
+
+const (
+	jobPending jobState = iota
+	jobLeased
+	jobDone
+)
+
+// job is one fingerprint-keyed simulation point in the coordinator
+// queue. Identical points requested by different experiments coalesce
+// into one job (the fabric-level analogue of the memo cache).
+type job struct {
+	spec     JobSpec
+	state    jobState
+	leaseID  string
+	worker   string
+	deadline time.Time
+	leases   int // grants, for churn accounting
+
+	res    *gpu.Result
+	errmsg string
+	done   chan struct{}
+}
+
+// workerInfo is the dashboard's view of one worker.
+type workerInfo struct {
+	id          string
+	slots       int
+	active      int
+	lastSeen    time.Time
+	metrics     harness.RunMetrics
+	completions int
+	simCycles   int64
+}
+
+// Coordinator owns the job queue, the lease table, and the distributed
+// completion log. It is driven from two sides: the sweep side calls
+// Executor()'s Execute per planned job (blocking until a worker
+// delivers), and the fleet side calls the HTTP handlers in server.go.
+type Coordinator struct {
+	cfg Config
+	ttl time.Duration
+
+	mu        sync.Mutex
+	jobs      map[string]*job // by cache key
+	pending   []string        // FIFO of pending job keys
+	workers   map[string]*workerInfo
+	closed    bool // sweep complete: leases answer 410
+	nextLease int64
+
+	leasesGranted  int64
+	leasesRenewed  int64
+	leasesExpired  int64
+	leasesReleased int64
+	completions    int64
+	dupCompletions int64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New starts a coordinator (including its lease janitor). Close it
+// when the sweep is finished.
+func New(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		ttl:         cfg.LeaseTTL,
+		jobs:        map[string]*job{},
+		workers:     map[string]*workerInfo{},
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go c.janitor()
+	return c
+}
+
+// Close marks the sweep complete — subsequent lease requests answer
+// 410 so workers exit — and stops the janitor. Idempotent.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.janitorStop)
+	<-c.janitorDone
+}
+
+// janitor reclaims expired leases: the job returns to the head of the
+// pending queue (it has waited longest) and the next lease request
+// re-dispatches it. This is the whole crash story — a dead worker
+// simply stops renewing.
+func (c *Coordinator) janitor() {
+	defer close(c.janitorDone)
+	tick := time.NewTicker(c.ttl / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.janitorStop:
+			return
+		case <-tick.C:
+			c.reclaimExpired()
+		}
+	}
+}
+
+func (c *Coordinator) reclaimExpired() {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, j := range c.jobs {
+		if j.state == jobLeased && now.After(j.deadline) {
+			j.state = jobPending
+			j.leaseID = ""
+			j.worker = ""
+			c.leasesExpired++
+			c.pending = append([]string{key}, c.pending...)
+		}
+	}
+}
+
+// Executor returns the harness.Executor that dispatches jobs to the
+// fleet. Install it as Params.Executor on the sweep the coordinator
+// runs.
+func (c *Coordinator) Executor() harness.Executor { return fleetExecutor{c} }
+
+// fleetExecutor implements harness.Executor by enqueueing the job and
+// blocking until a worker completes it (or the sweep context cancels).
+type fleetExecutor struct{ c *Coordinator }
+
+func (e fleetExecutor) Execute(p harness.Params, j harness.Job) (*gpu.Result, error) {
+	fp, key, err := harness.FingerprintKey(p, j)
+	if err != nil {
+		// Unfingerprintable config: no stable job key exists, so run the
+		// point locally exactly like the non-fabric path would.
+		return harness.ExecuteJob(p, j)
+	}
+	harness.AddMetrics(harness.RunMetrics{Requests: 1})
+	if res := harness.LoadCachedResult(p, fp); res != nil {
+		// Already in the coordinator store (resumed or repeated sweep):
+		// never dispatched, mirroring the local store-hit path.
+		return res, nil
+	}
+	spec, err := e.c.specFor(p, j, fp, key)
+	if err != nil {
+		return nil, err
+	}
+	jb := e.c.enqueue(spec)
+
+	did := p.Trace.Begin(p.Span(), "fabric.dispatch", j.Workload, j.Variant)
+	p.Trace.SetAttr(did, "key", key[:12])
+	defer p.Trace.End(did)
+
+	ctx := context.Background()
+	if p.Ctx != nil {
+		ctx = p.Ctx
+	}
+	select {
+	case <-jb.done:
+	case <-ctx.Done():
+		p.Trace.SetAttr(did, "outcome", "canceled")
+		return nil, fmt.Errorf("fabric: dispatch %s/%s: %w", j.Workload, j.Variant, ctx.Err())
+	}
+	e.c.mu.Lock()
+	res, errmsg, worker := jb.res, jb.errmsg, jb.worker
+	e.c.mu.Unlock()
+	p.Trace.SetAttr(did, "worker", worker)
+	if errmsg != "" {
+		p.Trace.SetAttr(did, "outcome", "error")
+		return nil, fmt.Errorf("fabric: %s/%s on %s: %s", j.Workload, j.Variant, worker, errmsg)
+	}
+	p.Trace.SetAttr(did, "outcome", "ok")
+	return res, nil
+}
+
+// specFor resolves one harness job into its wire form.
+func (c *Coordinator) specFor(p harness.Params, j harness.Job, fp, key string) (JobSpec, error) {
+	cfg := j.ConfigFor(p)
+	b, err := json.Marshal(&cfg)
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("fabric: marshal config for %s/%s: %w", j.Workload, j.Variant, err)
+	}
+	return JobSpec{
+		Key:             key,
+		FP:              fp,
+		Workload:        j.Workload,
+		Variant:         j.Variant,
+		Scale:           p.Scale,
+		Dilute:          p.Dilute,
+		Config:          b,
+		Sampling:        p.Sampling,
+		PrefixFP:        j.PrefixFP,
+		ForkCycle:       p.ForkCycle,
+		CheckInvariants: p.CheckInvariants,
+		RunTimeoutMS:    p.RunTimeout.Milliseconds(),
+	}, nil
+}
+
+// enqueue adds the job to the queue, coalescing on the cache key.
+func (c *Coordinator) enqueue(spec JobSpec) *job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.jobs[spec.Key]; ok {
+		return j
+	}
+	j := &job{spec: spec, done: make(chan struct{})}
+	c.jobs[spec.Key] = j
+	c.pending = append(c.pending, spec.Key)
+	return j
+}
+
+// lease grants the longest-waiting pending job. Returns (resp, true)
+// on a grant; (zero, false) with sweepDone=false when nothing is
+// leasable right now, and sweepDone=true when the sweep is closed.
+func (c *Coordinator) lease(workerID string) (resp LeaseResponse, ok, sweepDone bool) {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(workerID, now)
+	if c.closed {
+		return LeaseResponse{}, false, true
+	}
+	for len(c.pending) > 0 {
+		key := c.pending[0]
+		c.pending = c.pending[1:]
+		j := c.jobs[key]
+		if j == nil || j.state != jobPending {
+			continue // completed (or re-leased) while queued
+		}
+		c.nextLease++
+		j.state = jobLeased
+		j.leaseID = "L" + strconv.FormatInt(c.nextLease, 10)
+		j.worker = workerID
+		j.deadline = now.Add(c.ttl)
+		j.leases++
+		c.leasesGranted++
+		if w := c.workers[workerID]; w != nil {
+			w.active++
+		}
+		return LeaseResponse{LeaseID: j.leaseID, TTLMS: c.ttl.Milliseconds(), Job: j.spec}, true, false
+	}
+	return LeaseResponse{}, false, false
+}
+
+// renew extends a live lease.
+func (c *Coordinator) renew(leaseID string) (RenewResponse, bool) {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, j := range c.jobs {
+		if j.state == jobLeased && j.leaseID == leaseID {
+			j.deadline = now.Add(c.ttl)
+			c.leasesRenewed++
+			if w := c.workers[j.worker]; w != nil {
+				w.lastSeen = now
+			}
+			return RenewResponse{TTLMS: c.ttl.Milliseconds()}, true
+		}
+	}
+	return RenewResponse{}, false
+}
+
+// release returns a leased job to the pending queue unexecuted (a
+// draining worker hands back what it has not started).
+func (c *Coordinator) release(leaseID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, j := range c.jobs {
+		if j.state == jobLeased && j.leaseID == leaseID {
+			j.state = jobPending
+			j.leaseID = ""
+			c.workerJobDoneLocked(j.worker)
+			j.worker = ""
+			c.leasesReleased++
+			c.pending = append([]string{key}, c.pending...)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Coordinator) touchWorkerLocked(id string, now time.Time) {
+	w := c.workers[id]
+	if w == nil {
+		w = &workerInfo{id: id, slots: 1}
+		c.workers[id] = w
+	}
+	w.lastSeen = now
+}
+
+func (c *Coordinator) workerJobDoneLocked(id string) {
+	if w := c.workers[id]; w != nil && w.active > 0 {
+		w.active--
+	}
+}
+
+// heartbeat records a worker's self-reported status for the dashboard.
+func (c *Coordinator) heartbeat(hb HeartbeatRequest) {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(hb.Worker, now)
+	w := c.workers[hb.Worker]
+	w.slots = hb.Slots
+	w.active = hb.Active
+	w.metrics = hb.Metrics
+}
+
+// complete records one executed job: idempotent by key, and accepted
+// even from an expired lease if the job is not yet done — the work is
+// deterministic, so first-in wins and duplicates are dropped.
+func (c *Coordinator) complete(req CompleteRequest) error {
+	now := c.cfg.now()
+	c.mu.Lock()
+	j, ok := c.jobs[req.Key]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("unknown job key %q", req.Key)
+	}
+	if j.state == jobDone {
+		c.dupCompletions++
+		c.mu.Unlock()
+		return nil
+	}
+	if req.Error == "" && req.Result == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("completion for %q has neither result nor error", req.Key)
+	}
+	j.state = jobDone
+	j.res = req.Result
+	j.errmsg = req.Error
+	if j.worker != "" {
+		c.workerJobDoneLocked(j.worker)
+	}
+	j.worker = req.Worker
+	j.leaseID = ""
+	c.completions++
+	c.touchWorkerLocked(req.Worker, now)
+	delta := completionDelta(req.Entry)
+	if w := c.workers[req.Worker]; w != nil {
+		w.completions++
+		w.simCycles += delta.SimCycles
+	}
+	spec := j.spec
+	c.mu.Unlock()
+
+	// Durability before visibility: the Result and its completion-log
+	// line commit to the coordinator store as one transaction (the
+	// distributed completion log), and only then does the waiting
+	// Execute observe the job done. A coordinator crash after this
+	// point resumes from its own journal/store like any local sweep.
+	if req.Error == "" {
+		harness.RecordRemote(c.cfg.Params, spec.FP, req.Entry, req.Result)
+	} else {
+		harness.RecordRemote(c.cfg.Params, spec.FP, req.Entry, nil)
+	}
+	harness.NoteRemoteCompletion(c.cfg.Params, delta)
+	close(j.done)
+	return nil
+}
+
+// completionDelta derives the coordinator-side RunMetrics delta from a
+// worker's completion-log entry. Forked runs report total cycles but
+// simulated only their suffix; the prefix cycle count rides in the
+// ForkedFrom label ("<key>@<cycle>") and is credited to
+// PrefixCyclesSaved instead, exactly like the local accounting. An
+// Attempts of zero means the worker served its local store (nothing
+// simulated now), which counts as a fleet cache hit.
+func completionDelta(e harness.JournalEntry) harness.RunMetrics {
+	var d harness.RunMetrics
+	if e.Attempts == 0 {
+		return d
+	}
+	d.Executed = 1
+	if e.Attempts > 1 {
+		d.Retries = e.Attempts - 1
+	}
+	switch e.Status {
+	case "degraded":
+		d.Degraded = 1
+	case "failed":
+		d.Failures = 1
+	}
+	if e.Status != "failed" {
+		cycles := e.Cycles
+		if at, ok := forkedAtCycle(e.ForkedFrom); ok {
+			d.CheckpointHits = 1
+			d.PrefixCyclesSaved = at
+			cycles -= at
+		}
+		if cycles > 0 {
+			d.SimCycles = cycles
+		}
+	}
+	if e.ErrorBound > 0 {
+		d.SampledRuns = 1
+		d.MaxErrorBound = e.ErrorBound
+	}
+	return d
+}
+
+// forkedAtCycle parses the "<prefix-key>@<cycle>" ForkedFrom label.
+func forkedAtCycle(s string) (int64, bool) {
+	i := strings.LastIndexByte(s, '@')
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s[i+1:], 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Status snapshots the fleet for /status and the dashboard.
+func (c *Coordinator) Status() FleetStatus {
+	now := c.cfg.now()
+	mon := c.cfg.Params.Monitor
+	if mon == nil {
+		mon = harness.DefaultMonitor()
+	}
+	agg := mon.Status().SimCyclesPerSec
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := FleetStatus{
+		SchemaVersion:        FleetStatusSchemaVersion,
+		SweepClosed:          c.closed,
+		LeasesGranted:        c.leasesGranted,
+		LeasesRenewed:        c.leasesRenewed,
+		LeasesExpired:        c.leasesExpired,
+		LeasesReleased:       c.leasesReleased,
+		Completions:          c.completions,
+		DuplicateCompletions: c.dupCompletions,
+		AggSimCyclesPerSec:   agg,
+	}
+	for _, j := range c.jobs {
+		switch j.state {
+		case jobPending:
+			st.JobsPending++
+		case jobLeased:
+			st.JobsLeased++
+		case jobDone:
+			st.JobsDone++
+		}
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:          w.id,
+			Slots:       w.slots,
+			Active:      w.active,
+			LastSeen:    now.Sub(w.lastSeen).Seconds(),
+			Completions: w.completions,
+			SimCycles:   w.simCycles,
+			Metrics:     w.metrics,
+		})
+	}
+	sortWorkers(st.Workers)
+	return st
+}
+
+func sortWorkers(ws []WorkerStatus) {
+	for i := 1; i < len(ws); i++ {
+		for k := i; k > 0 && ws[k].ID < ws[k-1].ID; k-- {
+			ws[k], ws[k-1] = ws[k-1], ws[k]
+		}
+	}
+}

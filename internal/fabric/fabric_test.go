@@ -1,0 +1,781 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/harness"
+)
+
+// testClock is the coordinator's now() seam: advance it and call
+// reclaimExpired directly instead of sleeping through real TTLs.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock { return &testClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestCompletionDelta(t *testing.T) {
+	cases := []struct {
+		name  string
+		entry harness.JournalEntry
+		want  harness.RunMetrics
+	}{
+		{
+			name:  "ok",
+			entry: harness.JournalEntry{Status: "ok", Attempts: 1, Cycles: 500},
+			want:  harness.RunMetrics{Executed: 1, SimCycles: 500},
+		},
+		{
+			name:  "worker cache hit counts nothing",
+			entry: harness.JournalEntry{Status: "ok", Attempts: 0, Cycles: 500},
+			want:  harness.RunMetrics{},
+		},
+		{
+			name:  "degraded retry",
+			entry: harness.JournalEntry{Status: "degraded", Attempts: 2, Cycles: 300},
+			want:  harness.RunMetrics{Executed: 1, Retries: 1, Degraded: 1, SimCycles: 300},
+		},
+		{
+			name:  "failed records no cycles",
+			entry: harness.JournalEntry{Status: "failed", Attempts: 2, Cycles: 0},
+			want:  harness.RunMetrics{Executed: 1, Retries: 1, Failures: 1},
+		},
+		{
+			name:  "forked run credits only the suffix",
+			entry: harness.JournalEntry{Status: "ok", Attempts: 1, Cycles: 1000, ForkedFrom: "abcdef123456@400"},
+			want: harness.RunMetrics{
+				Executed: 1, SimCycles: 600,
+				CheckpointHits: 1, PrefixCyclesSaved: 400,
+			},
+		},
+		{
+			name:  "sampled run carries its error bound",
+			entry: harness.JournalEntry{Status: "ok", Attempts: 1, Cycles: 800, ErrorBound: 0.03},
+			want:  harness.RunMetrics{Executed: 1, SimCycles: 800, SampledRuns: 1, MaxErrorBound: 0.03},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := completionDelta(tc.entry); got != tc.want {
+				t.Errorf("completionDelta(%+v) = %+v, want %+v", tc.entry, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestForkedAtCycle(t *testing.T) {
+	if at, ok := forkedAtCycle("abc@123"); !ok || at != 123 {
+		t.Errorf("abc@123 = (%d, %v)", at, ok)
+	}
+	for _, s := range []string{"", "abc", "abc@", "abc@-1", "abc@x"} {
+		if _, ok := forkedAtCycle(s); ok {
+			t.Errorf("forkedAtCycle(%q) unexpectedly parsed", s)
+		}
+	}
+}
+
+// leaseProtocolCoordinator builds a coordinator with a fake clock and a
+// hand-enqueued job queue (no sweep attached).
+func leaseProtocolCoordinator(t *testing.T, keys ...string) (*Coordinator, *testClock) {
+	t.Helper()
+	clk := newTestClock()
+	c := New(Config{LeaseTTL: 10 * time.Second, now: clk.now})
+	t.Cleanup(c.Close)
+	for _, k := range keys {
+		c.enqueue(JobSpec{Key: k, FP: "fp-" + k, Workload: "w-" + k})
+	}
+	return c, clk
+}
+
+func TestLeaseRenewExpireReclaim(t *testing.T) {
+	c, clk := leaseProtocolCoordinator(t, "j1", "j2")
+
+	l1, ok, done := c.lease("w1")
+	if !ok || done {
+		t.Fatalf("first lease: ok=%v done=%v", ok, done)
+	}
+	l2, ok, _ := c.lease("w2")
+	if !ok {
+		t.Fatal("second lease refused")
+	}
+	if l1.Job.Key != "j1" || l2.Job.Key != "j2" {
+		t.Fatalf("FIFO violated: got %s then %s", l1.Job.Key, l2.Job.Key)
+	}
+	if _, ok, _ := c.lease("w3"); ok {
+		t.Fatal("third lease granted with an empty queue")
+	}
+
+	// w1 renews halfway through the TTL; w2 goes silent.
+	clk.advance(6 * time.Second)
+	if _, ok := c.renew(l1.LeaseID); !ok {
+		t.Fatal("renew of a live lease refused")
+	}
+	clk.advance(6 * time.Second) // j2's deadline passes; j1's renewed one does not
+	c.reclaimExpired()
+
+	st := c.Status()
+	if st.LeasesExpired != 1 || st.JobsPending != 1 || st.JobsLeased != 1 {
+		t.Fatalf("after expiry: %+v", st)
+	}
+	// The reclaimed job re-leases to a new worker.
+	l3, ok, _ := c.lease("w3")
+	if !ok || l3.Job.Key != "j2" {
+		t.Fatalf("reclaimed job not re-leased: ok=%v key=%s", ok, l3.Job.Key)
+	}
+	if l3.LeaseID == l2.LeaseID {
+		t.Fatal("re-lease reused the dead lease id")
+	}
+	// The dead lease is gone: renewals and releases fail.
+	if _, ok := c.renew(l2.LeaseID); ok {
+		t.Fatal("renewed an expired lease")
+	}
+	if c.release(l2.LeaseID) {
+		t.Fatal("released an expired lease")
+	}
+}
+
+func TestReleaseRequeuesAtHead(t *testing.T) {
+	c, _ := leaseProtocolCoordinator(t, "j1", "j2")
+	l1, _, _ := c.lease("w1")
+	if !c.release(l1.LeaseID) {
+		t.Fatal("release refused")
+	}
+	// The released job must come back before j2 (it has waited longest).
+	l, ok, _ := c.lease("w1")
+	if !ok || l.Job.Key != "j1" {
+		t.Fatalf("released job not at queue head: %+v", l.Job)
+	}
+}
+
+func TestCompleteIdempotentAndExpiredLeaseAccepted(t *testing.T) {
+	c, clk := leaseProtocolCoordinator(t, "j1")
+	l, _, _ := c.lease("w1")
+
+	// The lease expires (crash suspected) and the job is re-leased...
+	clk.advance(11 * time.Second)
+	c.reclaimExpired()
+	l2, ok, _ := c.lease("w2")
+	if !ok {
+		t.Fatal("re-lease refused")
+	}
+
+	// ...but the "dead" worker was only slow: its completion still lands.
+	res := &gpu.Result{Cycles: 42}
+	entry := harness.JournalEntry{FP: "j1", Workload: "w-j1", Status: "ok", Attempts: 1, Cycles: 42}
+	if err := c.complete(CompleteRequest{LeaseID: l.LeaseID, Worker: "w1", Key: "j1", Entry: entry, Result: res}); err != nil {
+		t.Fatalf("expired-lease completion refused: %v", err)
+	}
+	// The second worker's duplicate is dropped, not an error.
+	if err := c.complete(CompleteRequest{LeaseID: l2.LeaseID, Worker: "w2", Key: "j1", Entry: entry, Result: res}); err != nil {
+		t.Fatalf("duplicate completion errored: %v", err)
+	}
+	st := c.Status()
+	if st.Completions != 1 || st.DuplicateCompletions != 1 || st.JobsDone != 1 {
+		t.Fatalf("status after duplicate: %+v", st)
+	}
+
+	// Unknown keys and empty completions are rejected.
+	if err := c.complete(CompleteRequest{Key: "nope", Entry: entry, Result: res}); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	c.enqueue(JobSpec{Key: "j3", FP: "fp-j3"})
+	if err := c.complete(CompleteRequest{Key: "j3"}); err == nil {
+		t.Fatal("completion with neither result nor error accepted")
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	harness.ResetMetrics()
+	defer harness.ResetMetrics()
+	c := New(Config{Params: harness.Params{CacheDir: dir}})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post("/v1/lease", `{"worker":""}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("lease without worker id: %d", resp.StatusCode)
+	}
+	if resp := post("/v1/lease", `{"worker":"w1"}`); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("lease with empty queue: %d, want 204", resp.StatusCode)
+	}
+	if resp := post("/v1/lease", `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed lease body: %d", resp.StatusCode)
+	}
+	if resp := post("/v1/renew", `{"lease_id":"L99"}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("renew unknown lease: %d", resp.StatusCode)
+	}
+
+	// Object sync: only store kinds the fleet shares are served.
+	if resp := post("/v1/object/journal/abc", `{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("put of non-syncable kind: %d", resp.StatusCode)
+	}
+	if resp := post("/v1/object/vtck/abc", `{broken`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("put of invalid JSON: %d", resp.StatusCode)
+	}
+	if resp := post("/v1/object/vtck/abc", `{"v":1}`); resp.StatusCode != http.StatusOK {
+		t.Errorf("valid object put: %d", resp.StatusCode)
+	}
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := get("/v1/object/vtck/abc"); resp.StatusCode != http.StatusOK {
+		t.Errorf("get of stored object: %d", resp.StatusCode)
+	}
+	if resp := get("/v1/object/vtck/missing"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("get of missing object: %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/status", "/metrics", "/"} {
+		if resp := get(path); resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.WriteFleetMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"vtfabric_jobs_pending", "vtfabric_workers", "vtfabric_leases_expired_total"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("fleet metrics missing %s:\n%s", want, buf.String())
+		}
+	}
+
+	// A closed sweep answers leases with 410 so workers exit.
+	c.Close()
+	if resp := post("/v1/lease", `{"worker":"w1"}`); resp.StatusCode != http.StatusGone {
+		t.Errorf("lease after close: %d, want 410", resp.StatusCode)
+	}
+}
+
+func TestWorkerExitsOnSweepComplete(t *testing.T) {
+	c := New(Config{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	c.Close() // sweep already complete
+
+	err := RunWorker(context.Background(), WorkerConfig{
+		Coordinator: srv.URL, ID: "w1", Slots: 2,
+		PollInterval: 10 * time.Millisecond, HeartbeatEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("worker did not exit cleanly on 410: %v", err)
+	}
+}
+
+func TestWorkerDrainsOnCancel(t *testing.T) {
+	c := New(Config{})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(ctx, WorkerConfig{
+			Coordinator: srv.URL, ID: "w1", Slots: 1,
+			PollInterval: 10 * time.Millisecond, HeartbeatEvery: 10 * time.Millisecond,
+		})
+	}()
+	time.Sleep(50 * time.Millisecond) // let it poll at least once
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("canceled worker returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not drain after cancel")
+	}
+}
+
+func TestWorkerConfigValidation(t *testing.T) {
+	if _, err := newWorker(WorkerConfig{ID: "w"}); err == nil {
+		t.Error("missing coordinator URL accepted")
+	}
+	if _, err := newWorker(WorkerConfig{Coordinator: "http://x"}); err == nil {
+		t.Error("missing worker id accepted")
+	}
+}
+
+// --- end-to-end fleet tests -------------------------------------------
+
+// sweepJobs is the shared small batch: three workloads under both
+// policies, plus a variant pair that differs only in swap latency so
+// Checkpoint runs exercise prefix-fork grouping.
+func sweepJobs() []harness.Job {
+	jobs := []harness.Job{
+		{Workload: "pathfinder", Variant: "baseline",
+			Mutate: func(c *config.GPUConfig) { c.Policy = config.PolicyBaseline }},
+		{Workload: "pathfinder", Variant: "vt",
+			Mutate: func(c *config.GPUConfig) { c.Policy = config.PolicyVT }},
+		{Workload: "nw", Variant: "baseline",
+			Mutate: func(c *config.GPUConfig) { c.Policy = config.PolicyBaseline }},
+		{Workload: "nw", Variant: "vt",
+			Mutate: func(c *config.GPUConfig) { c.Policy = config.PolicyVT }},
+		{Workload: "bfs", Variant: "vt",
+			Mutate: func(c *config.GPUConfig) { c.Policy = config.PolicyVT }},
+	}
+	return jobs
+}
+
+func testSweepParams(dir string) harness.Params {
+	return harness.Params{Scale: 1, Config: config.Small(), Dilute: 50, Workers: 4, CacheDir: dir}
+}
+
+// collectSink records results as canonical JSON keyed by
+// workload/variant, the determinism comparison unit.
+type collectSink struct {
+	mu  sync.Mutex
+	got map[string]string
+}
+
+func newCollectSink() *collectSink { return &collectSink{got: map[string]string{}} }
+
+func (s *collectSink) Collect(j harness.Job, res *gpu.Result) {
+	b, err := json.Marshal(res)
+	if err != nil {
+		b = []byte("marshal error: " + err.Error())
+	}
+	s.mu.Lock()
+	s.got[j.Workload+"/"+j.Variant] = string(b)
+	s.mu.Unlock()
+}
+
+// journalCycles parses a journal file into cache-key -> cycles.
+func journalCycles(t *testing.T, dir string) map[string]int64 {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, harness.JournalFileName))
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	defer f.Close()
+	out := map[string]int64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e harness.JournalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.FP == "" {
+			continue // header or torn line
+		}
+		out[e.FP] = e.Cycles
+	}
+	return out
+}
+
+func openTestJournal(t *testing.T, dir string) *harness.Journal {
+	t.Helper()
+	jl, err := harness.OpenJournal(filepath.Join(dir, harness.JournalFileName),
+		harness.JournalMeta{Scale: 1, Dilute: 50, Config: "small"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jl.Close() })
+	return jl
+}
+
+// runBaseline runs the batch single-process into its own store and
+// returns the per-job results and journal cycles — the ground truth the
+// fleet runs must reproduce bit-identically.
+func runBaseline(t *testing.T, jobs []harness.Job, checkpoint bool) (map[string]string, map[string]int64) {
+	t.Helper()
+	harness.ResetMetrics()
+	dir := t.TempDir()
+	p := testSweepParams(dir)
+	p.Checkpoint = checkpoint
+	p.Journal = openTestJournal(t, dir)
+	sink := newCollectSink()
+	if err := harness.RunJobs(p, jobs, sink); err != nil {
+		t.Fatalf("single-process sweep: %v", err)
+	}
+	return sink.got, journalCycles(t, dir)
+}
+
+// fleetFixture is one coordinator + httptest server + sweep params.
+type fleetFixture struct {
+	coord *Coordinator
+	srv   *httptest.Server
+	dir   string // coordinator store dir
+	sweep harness.Params
+}
+
+func newFleetFixture(t *testing.T, checkpoint bool, ttl time.Duration) *fleetFixture {
+	t.Helper()
+	harness.ResetMetrics()
+	t.Cleanup(harness.ResetMetrics)
+	dir := t.TempDir()
+	cp := testSweepParams(dir)
+	cp.Checkpoint = checkpoint
+	cp.Journal = openTestJournal(t, dir)
+	coord := New(Config{Params: cp, LeaseTTL: ttl})
+	t.Cleanup(coord.Close)
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+
+	sweep := cp
+	sweep.Executor = coord.Executor()
+	sweep.Workers = 8 // dispatch width, not simulation parallelism
+	return &fleetFixture{coord: coord, srv: srv, dir: dir, sweep: sweep}
+}
+
+// startWorker runs one fleet worker with its own local store dir.
+func (f *fleetFixture) startWorker(t *testing.T, ctx context.Context, id string, slots int, bc func(int)) <-chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(ctx, WorkerConfig{
+			Coordinator: f.srv.URL, ID: id, Slots: slots,
+			Params:         harness.Params{CacheDir: t.TempDir()},
+			PollInterval:   20 * time.Millisecond,
+			HeartbeatEvery: 50 * time.Millisecond,
+			BeforeComplete: bc,
+		})
+	}()
+	return done
+}
+
+func verifyFleetMatchesBaseline(t *testing.T, wantRes map[string]string, wantCycles map[string]int64, gotRes map[string]string, dir string) {
+	t.Helper()
+	if len(gotRes) != len(wantRes) {
+		t.Fatalf("fleet collected %d results, baseline %d", len(gotRes), len(wantRes))
+	}
+	for k, want := range wantRes {
+		if gotRes[k] != want {
+			t.Errorf("%s: fleet result differs from single-process:\nfleet:    %s\nbaseline: %s", k, gotRes[k], want)
+		}
+	}
+	gotCycles := journalCycles(t, dir)
+	if len(gotCycles) != len(wantCycles) {
+		t.Fatalf("fleet journal has %d entries, baseline %d", len(gotCycles), len(wantCycles))
+	}
+	for k, want := range wantCycles {
+		if got, ok := gotCycles[k]; !ok || got != want {
+			t.Errorf("journal key %s: fleet cycles %d (present=%v), baseline %d", k, got, ok, want)
+		}
+	}
+}
+
+// TestFleetDeterminism is the tentpole contract: a sweep dispatched to
+// N workers produces bit-identical results and journal cycle counts to
+// the single-process run of the same batch.
+func TestFleetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	jobs := sweepJobs()
+	wantRes, wantCycles := runBaseline(t, jobs, false)
+
+	f := newFleetFixture(t, false, 5*time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w1 := f.startWorker(t, ctx, "w1", 2, nil)
+	w2 := f.startWorker(t, ctx, "w2", 2, nil)
+
+	sink := newCollectSink()
+	if err := harness.RunJobs(f.sweep, jobs, sink); err != nil {
+		t.Fatalf("fleet sweep: %v", err)
+	}
+	f.coord.Close() // workers see 410 and exit
+	for _, w := range []<-chan error{w1, w2} {
+		select {
+		case err := <-w:
+			if err != nil {
+				t.Errorf("worker exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker did not exit after sweep close")
+		}
+	}
+	verifyFleetMatchesBaseline(t, wantRes, wantCycles, sink.got, f.dir)
+
+	st := f.coord.Status()
+	if st.Completions != int64(len(jobs)) {
+		t.Errorf("completions = %d, want %d", st.Completions, len(jobs))
+	}
+	if len(st.Workers) != 2 {
+		t.Errorf("fleet saw %d workers, want 2", len(st.Workers))
+	}
+}
+
+// TestFleetDeterminismWithCheckpoints repeats the determinism contract
+// with prefix forking on: jobs that share a prefix group fork from a
+// fleet-shared checkpoint, and results must still be bit-identical.
+func TestFleetDeterminismWithCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	jobs := swapLatencyJobs()
+	wantRes, wantCycles := runBaseline(t, jobs, true)
+
+	f := newFleetFixture(t, true, 5*time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w1 := f.startWorker(t, ctx, "w1", 2, nil)
+
+	sink := newCollectSink()
+	if err := harness.RunJobs(f.sweep, jobs, sink); err != nil {
+		t.Fatalf("fleet sweep: %v", err)
+	}
+	f.coord.Close()
+	select {
+	case err := <-w1:
+		if err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after sweep close")
+	}
+	verifyFleetMatchesBaseline(t, wantRes, wantCycles, sink.got, f.dir)
+}
+
+// swapLatencyJobs differ only in the VT swap latencies — the shape the
+// prefix-fork scheduler groups (fig-swaplat's sweep axis).
+func swapLatencyJobs() []harness.Job {
+	var jobs []harness.Job
+	for _, lat := range []int{100, 400, 1600} {
+		lat := lat
+		jobs = append(jobs, harness.Job{
+			Workload: "pathfinder", Variant: fmt.Sprintf("lat%d", lat),
+			Mutate: func(c *config.GPUConfig) {
+				c.Policy = config.PolicyVT
+				c.VT.SwapOutLatency = lat
+				c.VT.SwapInLatency = lat
+			},
+		})
+	}
+	return jobs
+}
+
+// TestFleetCrashReclaimResume kills one worker mid-sweep (it leases a
+// job and never reports), and asserts the lease expires, the job
+// re-dispatches to a healthy worker, and the sweep's outcome is still
+// bit-identical to the single-process baseline.
+func TestFleetCrashReclaimResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	jobs := sweepJobs()
+	wantRes, wantCycles := runBaseline(t, jobs, false)
+
+	f := newFleetFixture(t, false, 500*time.Millisecond)
+
+	// The sweep must be enqueued before the doomed worker can lease.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := newCollectSink()
+	sweepDone := make(chan error, 1)
+	go func() { sweepDone <- harness.RunJobs(f.sweep, jobs, sink) }()
+
+	// The doomed worker takes one lease and vanishes: never renews,
+	// never completes — the exact path a SIGKILLed process takes.
+	var doomed LeaseResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, _ := json.Marshal(LeaseRequest{Worker: "doomed"})
+		resp, err := http.Post(f.srv.URL+"/v1/lease", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		if code == http.StatusOK {
+			json.NewDecoder(resp.Body).Decode(&doomed)
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("doomed worker never got a lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Now the healthy worker joins and must finish everything,
+	// including the job the dead worker holds.
+	w1 := f.startWorker(t, ctx, "w1", 2, nil)
+
+	select {
+	case err := <-sweepDone:
+		if err != nil {
+			t.Fatalf("fleet sweep: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("sweep did not recover from the dead worker")
+	}
+	f.coord.Close()
+	select {
+	case err := <-w1:
+		if err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after sweep close")
+	}
+
+	verifyFleetMatchesBaseline(t, wantRes, wantCycles, sink.got, f.dir)
+	st := f.coord.Status()
+	if st.LeasesExpired < 1 {
+		t.Errorf("expected at least one expired lease, got %+v", st)
+	}
+	_ = doomed
+}
+
+// TestFleetWarmWorkerReportsCacheHit pins the crash/rejoin accounting:
+// a worker whose local store already holds a result reports it with
+// Attempts 0, and the coordinator counts no new execution for it.
+func TestFleetWarmWorkerReportsCacheHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	jobs := sweepJobs()[:1]
+
+	// Warm a worker-local store by running the job into it directly.
+	workerDir := t.TempDir()
+	harness.ResetMetrics()
+	wp := testSweepParams(workerDir)
+	sink := newCollectSink()
+	if err := harness.RunJobs(wp, jobs, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	f := newFleetFixture(t, false, 5*time.Second) // resets metrics & memo
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(ctx, WorkerConfig{
+			Coordinator: f.srv.URL, ID: "warm", Slots: 1,
+			Params:         harness.Params{CacheDir: workerDir},
+			PollInterval:   20 * time.Millisecond,
+			HeartbeatEvery: 50 * time.Millisecond,
+		})
+	}()
+
+	fleetSink := newCollectSink()
+	if err := harness.RunJobs(f.sweep, jobs, fleetSink); err != nil {
+		t.Fatalf("fleet sweep: %v", err)
+	}
+	f.coord.Close()
+	<-done
+
+	if fleetSink.got[jobs[0].Workload+"/"+jobs[0].Variant] != sink.got[jobs[0].Workload+"/"+jobs[0].Variant] {
+		t.Error("warm-store result differs from the original run")
+	}
+	// The in-process worker shares global metrics, so assert through the
+	// coordinator's own view: the completion carried Attempts 0, which
+	// counts zero executions in its delta.
+	st := f.coord.Status()
+	if st.Completions != 1 {
+		t.Fatalf("completions = %d, want 1", st.Completions)
+	}
+	for _, w := range st.Workers {
+		if w.ID == "warm" && w.SimCycles != 0 {
+			t.Errorf("warm worker credited %d sim cycles for a store hit", w.SimCycles)
+		}
+	}
+}
+
+// TestFleetThroughputScaling asserts the acceptance speedup: four
+// workers finish a batch at >=3x the aggregate simcycles/s of a
+// single-process, single-worker run. Meaningless without cores to
+// parallelize over, so it skips on small machines.
+func TestFleetThroughputScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	if n := harness.ResolveWorkers(0); n < 4 {
+		t.Skipf("needs >=4 CPUs for a meaningful scaling run, have %d", n)
+	}
+	// A wider batch so the fleet has enough parallel work to amortize
+	// dispatch overhead.
+	var jobs []harness.Job
+	for _, w := range []string{"pathfinder", "nw", "bfs", "spmv", "lud", "srad"} {
+		w := w
+		for _, pol := range []config.Policy{config.PolicyBaseline, config.PolicyVT} {
+			pol := pol
+			jobs = append(jobs, harness.Job{
+				Workload: w, Variant: pol.String(),
+				Mutate: func(c *config.GPUConfig) { c.Policy = pol },
+			})
+		}
+	}
+
+	harness.ResetMetrics()
+	p1 := testSweepParams(t.TempDir())
+	p1.Workers = 1
+	t0 := time.Now()
+	if err := harness.RunJobs(p1, jobs, newCollectSink()); err != nil {
+		t.Fatal(err)
+	}
+	m := harness.Metrics()
+	singleRate := float64(m.SimCycles) / time.Since(t0).Seconds()
+
+	f := newFleetFixture(t, false, 5*time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var workers []<-chan error
+	for i := 0; i < 4; i++ {
+		workers = append(workers, f.startWorker(t, ctx, fmt.Sprintf("w%d", i), 1, nil))
+	}
+	t1 := time.Now()
+	if err := harness.RunJobs(f.sweep, jobs, newCollectSink()); err != nil {
+		t.Fatal(err)
+	}
+	fleetWall := time.Since(t1).Seconds()
+	f.coord.Close()
+	for _, w := range workers {
+		<-w
+	}
+	st := f.coord.Status()
+	var fleetCycles int64
+	for _, ws := range st.Workers {
+		fleetCycles += ws.SimCycles
+	}
+	fleetRate := float64(fleetCycles) / fleetWall
+	t.Logf("single-process %.0f simcycles/s, 4-worker fleet %.0f simcycles/s (%.2fx)",
+		singleRate, fleetRate, fleetRate/singleRate)
+	if fleetRate < 3*singleRate {
+		t.Errorf("fleet aggregate %.0f simcycles/s is below 3x single-process %.0f", fleetRate, singleRate)
+	}
+}

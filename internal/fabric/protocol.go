@@ -1,0 +1,161 @@
+// Package fabric is the distributed sweep fabric: a coordinator that
+// plans a sweep and serves fingerprint-keyed jobs over HTTP, and a
+// pull-based worker that executes them through the supervised harness
+// and streams outcomes back.
+//
+// The division of labor keeps the determinism contract trivial: the
+// coordinator runs the experiments in-process exactly like a local
+// sweep — same scheduler, same table assembly — and only the Executor
+// stage is remote. Workers run the same deterministic simulation code
+// on fully resolved configs, so a sweep run on N workers produces
+// bit-identical sim_cycles and tables to the single-process run, and a
+// re-leased job after a worker crash re-produces the same Result it
+// would have reported.
+//
+// Wire protocol (JSON over HTTP, all under /v1):
+//
+//	POST /v1/lease     {worker}            -> 200 {lease_id, ttl_ms, job}
+//	                                          204 (nothing leasable now)
+//	                                          410 (sweep complete)
+//	POST /v1/renew     {lease_id}          -> 200 {ttl_ms} | 404
+//	POST /v1/release   {lease_id}          -> 200 (job back to pending)
+//	POST /v1/complete  {lease_id, key, entry, result|error}
+//	                                       -> 200 (idempotent by key)
+//	POST /v1/heartbeat {worker, slots, active, metrics}
+//	GET  /v1/object/{kind}/{key}           -> envelope bytes | 404
+//	POST /v1/object/{kind}/{key}           <- envelope bytes
+//
+// A job is keyed by the harness content fingerprint's cache key — the
+// same hex id that names its result-store object and journal lines —
+// and the spec carries the raw fingerprint so workers recompute and
+// verify both before simulating. Completions are idempotent by key:
+// after a lease expires and the job is re-leased, a late completion
+// from the original worker is still accepted if it arrives first, and
+// the duplicate is dropped (deterministic execution makes them
+// interchangeable).
+package fabric
+
+import (
+	"encoding/json"
+
+	"repro/internal/gpu"
+	"repro/internal/harness"
+)
+
+// JobSpec is the wire form of one fully resolved simulation point.
+// Config is the exact hardware config to run (the coordinator has
+// already applied the job's Mutate), so a worker needs no knowledge of
+// the experiment that produced the point.
+type JobSpec struct {
+	// Key is the cache key (hex id) of FP; jobs, completions, store
+	// objects, and journal lines all correlate through it.
+	Key string `json:"key"`
+	// FP is the raw content fingerprint. Workers recompute it from the
+	// fields below and refuse mismatching leases.
+	FP       string          `json:"fp"`
+	Workload string          `json:"workload"`
+	Variant  string          `json:"variant,omitempty"`
+	Scale    int             `json:"scale"`
+	Dilute   int             `json:"dilute,omitempty"`
+	Config   json.RawMessage `json:"config"`
+
+	Sampling gpu.SamplingOptions `json:"sampling,omitzero"`
+
+	// PrefixFP marks the job as part of a prefix-fork group (see
+	// harness/fork.go); workers sync the group's checkpoint object with
+	// the coordinator store by its cache key.
+	PrefixFP  string `json:"prefix_fp,omitempty"`
+	ForkCycle int64  `json:"fork_cycle,omitempty"`
+
+	CheckInvariants bool  `json:"check_invariants,omitempty"`
+	RunTimeoutMS    int64 `json:"run_timeout_ms,omitempty"`
+}
+
+// LeaseRequest asks for one job.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one job for TTLMS milliseconds. The worker must
+// renew before expiry or the job returns to the pending queue.
+type LeaseResponse struct {
+	LeaseID string  `json:"lease_id"`
+	TTLMS   int64   `json:"ttl_ms"`
+	Job     JobSpec `json:"job"`
+}
+
+// RenewRequest extends a lease; RenewResponse returns the new TTL.
+type RenewRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+type RenewResponse struct {
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// ReleaseRequest returns a leased job to the pending queue unexecuted
+// (worker shutdown drain).
+type ReleaseRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// CompleteRequest reports one executed job. Entry is the worker's
+// completion-log line (the coordinator re-journals it into the
+// distributed completion log); Result is nil when Error is set.
+type CompleteRequest struct {
+	LeaseID string               `json:"lease_id"`
+	Worker  string               `json:"worker"`
+	Key     string               `json:"key"`
+	Entry   harness.JournalEntry `json:"entry"`
+	Result  *gpu.Result          `json:"result,omitempty"`
+	Error   string               `json:"error,omitempty"`
+}
+
+// HeartbeatRequest is a worker's periodic status report for the fleet
+// dashboard: slot occupancy and its cumulative local RunMetrics.
+type HeartbeatRequest struct {
+	Worker  string             `json:"worker"`
+	Slots   int                `json:"slots"`
+	Active  int                `json:"active"`
+	Metrics harness.RunMetrics `json:"metrics"`
+}
+
+// WorkerStatus is one worker's row in the fleet status document.
+type WorkerStatus struct {
+	ID       string  `json:"id"`
+	Slots    int     `json:"slots"`
+	Active   int     `json:"active"`
+	LastSeen float64 `json:"lastSeenSeconds"` // seconds since last contact
+	// Completions and SimCycles are coordinator-side tallies of what
+	// this worker delivered (not the worker's self-reported metrics).
+	Completions int                `json:"completions"`
+	SimCycles   int64              `json:"simCycles"`
+	Metrics     harness.RunMetrics `json:"metrics"`
+}
+
+// FleetStatus is the coordinator's /status JSON document.
+type FleetStatus struct {
+	SchemaVersion int  `json:"schemaVersion"`
+	SweepClosed   bool `json:"sweepClosed"`
+
+	JobsPending int `json:"jobsPending"`
+	JobsLeased  int `json:"jobsLeased"`
+	JobsDone    int `json:"jobsDone"`
+
+	LeasesGranted  int64 `json:"leasesGranted"`
+	LeasesRenewed  int64 `json:"leasesRenewed"`
+	LeasesExpired  int64 `json:"leasesExpired"`
+	LeasesReleased int64 `json:"leasesReleased"`
+
+	Completions          int64 `json:"completions"`
+	DuplicateCompletions int64 `json:"duplicateCompletions"`
+
+	// AggSimCyclesPerSec is the windowed fleet rate: the coordinator
+	// monitor's simcycles/s over remotely completed work.
+	AggSimCyclesPerSec float64 `json:"aggSimCyclesPerSec"`
+
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// FleetStatusSchemaVersion identifies the /status layout.
+const FleetStatusSchemaVersion = 1

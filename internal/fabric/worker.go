@@ -1,0 +1,485 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/resultstore"
+)
+
+// WorkerConfig configures one pull-based worker process.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:7077".
+	Coordinator string
+	// ID names the worker in leases, the dashboard, and metric labels.
+	ID string
+	// Slots is how many jobs the worker holds concurrently; <=0 means
+	// GOMAXPROCS (clamped like harness workers).
+	Slots int
+	// Params are the worker-local harness parameters: its own CacheDir
+	// (local store, seeded from the coordinator by object sync),
+	// FailDir, timeouts. Scale/Dilute/Config/Sampling are overridden
+	// per job from the lease; Journal stays local (the coordinator owns
+	// the authoritative completion log).
+	Params harness.Params
+	// Client overrides the HTTP client (tests); nil uses a default with
+	// a request timeout.
+	Client *http.Client
+	// PollInterval is the idle re-poll cadence when the coordinator has
+	// no job (jittered); default 200ms.
+	PollInterval time.Duration
+	// HeartbeatEvery is the dashboard heartbeat cadence; default 1s.
+	HeartbeatEvery time.Duration
+	// BeforeComplete, when non-nil, runs just before the nth completion
+	// report (1-based). The CI fabric drill uses it to kill a worker
+	// after its job executed but before the coordinator hears about it
+	// — the lease-expiry path a real crash takes.
+	BeforeComplete func(n int)
+}
+
+// RunWorker pulls jobs from the coordinator until the sweep completes
+// (nil), the context cancels (ctx.Err() after draining in-flight
+// jobs), or the coordinator becomes unreachable for too long.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	w, err := newWorker(cfg)
+	if err != nil {
+		return err
+	}
+	return w.run(ctx)
+}
+
+// workerOfflineGrace is how long lease polling tolerates an
+// unreachable coordinator before the worker gives up.
+const workerOfflineGrace = 30 * time.Second
+
+type worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	base   string
+	slots  int
+
+	mu        sync.Mutex
+	active    int
+	completed int
+}
+
+func newWorker(cfg WorkerConfig) (*worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, errors.New("fabric: worker needs a coordinator URL")
+	}
+	if cfg.ID == "" {
+		return nil, errors.New("fabric: worker needs an id")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &worker{
+		cfg:    cfg,
+		client: client,
+		base:   strings.TrimRight(cfg.Coordinator, "/"),
+		slots:  harness.ResolveWorkers(cfg.Slots),
+	}, nil
+}
+
+func (w *worker) run(ctx context.Context) error {
+	hbStop := make(chan struct{})
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		w.heartbeatLoop(ctx, hbStop)
+	}()
+
+	errs := make([]error, w.slots)
+	var wg sync.WaitGroup
+	for i := 0; i < w.slots; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.slotLoop(ctx)
+		}(i)
+	}
+	wg.Wait()
+	close(hbStop)
+	hbDone.Wait()
+	w.heartbeat() // final report so the dashboard sees the drain
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return errors.Join(errs...)
+}
+
+// slotLoop is one lease slot: poll, execute, report, repeat. A 410
+// ends the slot (sweep complete); a canceled context ends it after the
+// in-flight job drains.
+func (w *worker) slotLoop(ctx context.Context) error {
+	offlineSince := time.Time{}
+	for {
+		if ctx.Err() != nil {
+			return nil // run() reports ctx.Err()
+		}
+		lease, status, err := w.lease()
+		switch {
+		case err != nil:
+			if offlineSince.IsZero() {
+				offlineSince = time.Now()
+			} else if time.Since(offlineSince) > workerOfflineGrace {
+				return fmt.Errorf("fabric: coordinator unreachable for %s: %w", workerOfflineGrace, err)
+			}
+			w.idleWait(ctx)
+			continue
+		case status == http.StatusGone:
+			return nil
+		case status == http.StatusNoContent:
+			offlineSince = time.Time{}
+			w.idleWait(ctx)
+			continue
+		}
+		offlineSince = time.Time{}
+		w.mu.Lock()
+		w.active++
+		w.mu.Unlock()
+		execErr := w.executeAndReport(ctx, lease)
+		w.mu.Lock()
+		w.active--
+		w.mu.Unlock()
+		if execErr != nil {
+			return execErr
+		}
+	}
+}
+
+// idleWait sleeps one jittered poll interval, or until cancellation.
+func (w *worker) idleWait(ctx context.Context) {
+	d := w.cfg.PollInterval/2 + rand.N(w.cfg.PollInterval)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// executeAndReport runs one leased job through the local harness and
+// reports the outcome. The job itself is never canceled mid-simulation
+// by shutdown: the slot drains it, reports, and only then exits —
+// preserving lease semantics (the coordinator would re-lease anything
+// unreported anyway).
+func (w *worker) executeAndReport(ctx context.Context, lease LeaseResponse) error {
+	spec := lease.Job
+	jp, job, err := w.paramsFor(spec)
+	if err == nil {
+		// Verify the lease describes the point we think it does: the
+		// fingerprint must round-trip through our own resolution.
+		fp, key, ferr := harness.FingerprintKey(jp, job)
+		switch {
+		case ferr != nil:
+			err = fmt.Errorf("fingerprint: %w", ferr)
+		case fp != spec.FP || key != spec.Key:
+			err = fmt.Errorf("fingerprint mismatch: lease says %s, resolved %s", spec.Key, key)
+		}
+	}
+	if err != nil {
+		// A malformed lease is the coordinator's bug; fail the job loudly
+		// rather than letting it bounce between workers forever.
+		return w.reportComplete(lease, spec, harness.JournalEntry{
+			FP: spec.Key, Workload: spec.Workload, Variant: spec.Variant,
+			Status: "failed", Attempts: 1, Error: err.Error(),
+			Time: time.Now().UTC().Format(time.RFC3339),
+		}, nil, err.Error())
+	}
+
+	// Renew the lease while the simulation runs.
+	renewStop := make(chan struct{})
+	var renewDone sync.WaitGroup
+	renewDone.Add(1)
+	go func() {
+		defer renewDone.Done()
+		w.renewLoop(lease, renewStop)
+	}()
+	defer func() {
+		close(renewStop)
+		renewDone.Wait()
+	}()
+
+	// Seed the local store with the prefix group's checkpoint if the
+	// coordinator has one (another worker's donor run), so this worker
+	// forks instead of re-simulating the prefix.
+	if spec.PrefixFP != "" {
+		w.pullCheckpoint(jp, spec.PrefixFP)
+	}
+
+	// Capture the supervised run's completion-log entry as it is
+	// recorded locally; it becomes the wire outcome.
+	var outMu sync.Mutex
+	var captured *harness.JournalEntry
+	jp.OnOutcome = func(e harness.JournalEntry, _ *gpu.Result) {
+		if e.FP != spec.Key {
+			return // a donor run for a different point in the same group
+		}
+		outMu.Lock()
+		captured = &e
+		outMu.Unlock()
+	}
+
+	res, execErr := harness.ExecuteJob(jp, job)
+
+	// Publish a checkpoint this run captured (donor side of the fork
+	// group) so the rest of the fleet forks from it.
+	if spec.PrefixFP != "" && execErr == nil {
+		w.pushCheckpoint(jp, spec.PrefixFP)
+	}
+
+	outMu.Lock()
+	entry := captured
+	outMu.Unlock()
+	if entry == nil {
+		// The local store or memo served the result (possible after a
+		// crash/rejoin with a warm CacheDir): synthesize the entry.
+		// Attempts 0 tells the coordinator nothing was simulated now.
+		e := harness.JournalEntry{
+			FP: spec.Key, Workload: spec.Workload, Variant: spec.Variant,
+			Attempts: 0, Time: time.Now().UTC().Format(time.RFC3339),
+		}
+		if execErr != nil {
+			e.Status, e.Error = "failed", execErr.Error()
+		} else {
+			e.Status, e.Cycles = "ok", res.Cycles
+			if res.Sampling != nil {
+				e.ErrorBound = res.Sampling.ErrorBound
+			}
+		}
+		entry = &e
+	}
+	errmsg := ""
+	if execErr != nil {
+		errmsg = execErr.Error()
+		res = nil
+	}
+	return w.reportComplete(lease, spec, *entry, res, errmsg)
+}
+
+// paramsFor reconstructs the worker-local Params and Job for a lease.
+func (w *worker) paramsFor(spec JobSpec) (harness.Params, harness.Job, error) {
+	jp := w.cfg.Params
+	var cfg config.GPUConfig
+	if err := json.Unmarshal(spec.Config, &cfg); err != nil {
+		return jp, harness.Job{}, fmt.Errorf("config: %w", err)
+	}
+	jp.Config = cfg
+	jp.Scale = spec.Scale
+	jp.Dilute = spec.Dilute
+	jp.Sampling = spec.Sampling
+	jp.ForkCycle = spec.ForkCycle
+	jp.CheckInvariants = spec.CheckInvariants
+	jp.Checkpoint = spec.PrefixFP != ""
+	if spec.RunTimeoutMS > 0 {
+		jp.RunTimeout = time.Duration(spec.RunTimeoutMS) * time.Millisecond
+	}
+	job := harness.Job{Workload: spec.Workload, Variant: spec.Variant, PrefixFP: spec.PrefixFP}
+	return jp, job, nil
+}
+
+// renewLoop renews the lease at a third of its TTL until stopped.
+func (w *worker) renewLoop(lease LeaseResponse, stop <-chan struct{}) {
+	ttl := time.Duration(lease.TTLMS) * time.Millisecond
+	tick := time.NewTicker(ttl / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			var resp RenewResponse
+			w.post("/v1/renew", RenewRequest{LeaseID: lease.LeaseID}, &resp)
+		}
+	}
+}
+
+// pullCheckpoint seeds the local store with the coordinator's
+// checkpoint for the prefix group, if we lack it and it has one. The
+// envelope's embedded fingerprint is verified by the fork loader on
+// read, so a bad sync degrades to a full run, never a wrong one.
+func (w *worker) pullCheckpoint(p harness.Params, prefixFP string) {
+	key := harness.CacheKey(prefixFP)
+	if _, err := harness.StoreGetObject(p, resultstore.KindCheckpoint, key); err == nil {
+		return // already local
+	}
+	b, status, err := w.get("/v1/object/" + string(resultstore.KindCheckpoint) + "/" + key)
+	if err != nil || status != http.StatusOK {
+		return
+	}
+	harness.StorePutObject(p, resultstore.KindCheckpoint, key, b)
+}
+
+// pushCheckpoint publishes the local checkpoint for the prefix group
+// to the coordinator. Unconditional put: deterministic donors make any
+// concurrent writes content-identical.
+func (w *worker) pushCheckpoint(p harness.Params, prefixFP string) {
+	key := harness.CacheKey(prefixFP)
+	b, err := harness.StoreGetObject(p, resultstore.KindCheckpoint, key)
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost,
+		w.base+"/v1/object/"+string(resultstore.KindCheckpoint)+"/"+key, bytes.NewReader(b))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := w.client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// reportComplete posts the completion, retrying transient failures —
+// an unreported job would burn a full lease TTL before re-dispatch.
+func (w *worker) reportComplete(lease LeaseResponse, spec JobSpec, entry harness.JournalEntry, res *gpu.Result, errmsg string) error {
+	w.mu.Lock()
+	w.completed++
+	n := w.completed
+	w.mu.Unlock()
+	if w.cfg.BeforeComplete != nil {
+		w.cfg.BeforeComplete(n)
+	}
+	req := CompleteRequest{
+		LeaseID: lease.LeaseID,
+		Worker:  w.cfg.ID,
+		Key:     spec.Key,
+		Entry:   entry,
+		Result:  res,
+		Error:   errmsg,
+	}
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 200 * time.Millisecond)
+		}
+		status, err := w.postStatus("/v1/complete", req)
+		if err == nil && status == http.StatusOK {
+			return nil
+		}
+		if err == nil && status == http.StatusNotFound {
+			// The coordinator no longer knows the job (restarted with a
+			// fresh queue); nothing to do — the result is safe in our
+			// local store.
+			return nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("complete: HTTP %d", status)
+		}
+	}
+	return fmt.Errorf("fabric: reporting completion of %s: %w", spec.Key, lastErr)
+}
+
+// heartbeatLoop reports status until both the context cancels and the
+// slots drain (stop).
+func (w *worker) heartbeatLoop(ctx context.Context, stop <-chan struct{}) {
+	tick := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			w.heartbeat()
+		case <-ctx.Done():
+			// Keep heartbeating while in-flight jobs drain.
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				w.heartbeat()
+			}
+		}
+	}
+}
+
+func (w *worker) heartbeat() {
+	w.mu.Lock()
+	active := w.active
+	w.mu.Unlock()
+	w.post("/v1/heartbeat", HeartbeatRequest{
+		Worker:  w.cfg.ID,
+		Slots:   w.slots,
+		Active:  active,
+		Metrics: harness.Metrics(),
+	}, nil)
+}
+
+// lease asks for one job. Returns the HTTP status for 204/410 flow.
+func (w *worker) lease() (LeaseResponse, int, error) {
+	var resp LeaseResponse
+	status, err := w.postInto("/v1/lease", LeaseRequest{Worker: w.cfg.ID}, &resp)
+	return resp, status, err
+}
+
+func (w *worker) post(path string, body, out any) error {
+	_, err := w.postInto(path, body, out)
+	return err
+}
+
+func (w *worker) postStatus(path string, body any) (int, error) {
+	return w.postInto(path, body, nil)
+}
+
+func (w *worker) postInto(path string, body, out any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, w.base+path, bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (w *worker) get(path string) ([]byte, int, error) {
+	resp, err := w.client.Get(w.base + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return b, resp.StatusCode, nil
+}

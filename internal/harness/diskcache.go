@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"sync"
 	"time"
@@ -114,7 +116,16 @@ func resetStores() {
 // safe-mode simulation retry in supervisor.go.
 const storeRetryAttempts = 3
 
-func storeRetry(op func() error) error {
+// storeRetry runs op, retrying transient store I/O errors with
+// jittered exponential backoff (equal jitter over a 2ms/8ms base, so a
+// fleet of workers hammering one store desynchronizes instead of
+// retrying in lockstep). The sleep aborts when ctx is canceled —
+// graceful shutdown must never block mid-backoff — returning the op
+// error joined with the context error.
+func storeRetry(ctx context.Context, op func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	backoff := 2 * time.Millisecond
 	for attempt := 1; ; attempt++ {
 		err := op()
@@ -122,7 +133,17 @@ func storeRetry(op func() error) error {
 			return err
 		}
 		bumpMetric(func(m *RunMetrics) { m.StoreRetries++ })
-		time.Sleep(backoff)
+		// Equal jitter: half the backoff is deterministic spacing, the
+		// other half uniform random, keeping a minimum gap while
+		// spreading concurrent retriers.
+		d := backoff/2 + rand.N(backoff/2+1)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return errors.Join(err, ctx.Err())
+		}
 		backoff *= 4
 	}
 }
@@ -130,10 +151,45 @@ func storeRetry(op func() error) error {
 // commitStoreTx commits with bounded retry on transient I/O. Best-effort
 // beyond that: a store that cannot be written must not fail the sweep,
 // matching the old disk cache's contract.
-func commitStoreTx(tx *resultstore.Tx) {
-	if err := storeRetry(tx.Commit); err != nil {
+func commitStoreTx(ctx context.Context, tx *resultstore.Tx) {
+	if err := storeRetry(ctx, tx.Commit); err != nil {
 		fmt.Fprintf(os.Stderr, "harness: result store commit failed: %v\n", err)
 	}
+}
+
+// StoreGetObject reads one raw store object (its JSON envelope bytes)
+// by kind and cache key from p's result store. The sweep fabric uses it
+// on both sides of object sync: the coordinator serves checkpoints and
+// results to workers, and a worker checks its local store before
+// fetching. Returns resultstore.ErrNotFound when the object is absent
+// and an error when no store is attached.
+func StoreGetObject(p Params, kind resultstore.Kind, key string) ([]byte, error) {
+	st := storeFor(p)
+	if st == nil {
+		return nil, fmt.Errorf("harness: no result store attached")
+	}
+	var b []byte
+	err := storeRetry(p.ctx(), func() error {
+		var gerr error
+		b, gerr = st.Get(kind, key)
+		return gerr
+	})
+	return b, err
+}
+
+// StorePutObject writes one raw store object as a single transaction.
+// The payload must be a valid store envelope for the kind: consumers
+// re-verify the embedded content fingerprint on read (diskLoad,
+// diskLoadCheckpoint), so a corrupt or mismatched sync is quarantined
+// on first use, never trusted.
+func StorePutObject(p Params, kind resultstore.Kind, key string, b []byte) error {
+	st := storeFor(p)
+	if st == nil {
+		return fmt.Errorf("harness: no result store attached")
+	}
+	tx := st.Begin()
+	tx.Put(kind, key, b)
+	return storeRetry(p.ctx(), tx.Commit)
 }
 
 // diskLoad returns the cached Result for the fingerprint, or nil. The
@@ -141,13 +197,13 @@ func commitStoreTx(tx *resultstore.Tx) {
 // payload reaches this envelope check; envelope-level mismatches (stale
 // version, fingerprint collision) quarantine the object on every side
 // so the re-simulation's rewrite is not shadowed.
-func diskLoad(st *resultstore.Store, fp string) *gpu.Result {
+func diskLoad(ctx context.Context, st *resultstore.Store, fp string) *gpu.Result {
 	if st == nil {
 		return nil
 	}
 	key := cacheKey(fp)
 	var b []byte
-	err := storeRetry(func() error {
+	err := storeRetry(ctx, func() error {
 		var gerr error
 		b, gerr = st.Get(resultstore.KindResult, key)
 		return gerr

@@ -16,7 +16,7 @@ import (
 func TestDiskCacheRoundTrip(t *testing.T) {
 	defer ResetMetrics()
 	p := Params{Scale: 1, Config: config.Small(), Dilute: 60, CacheDir: t.TempDir()}
-	j := job{workload: "vecadd"}
+	j := Job{Workload: "vecadd"}
 
 	ResetMetrics()
 	fresh, err := memoRun(p, j)
@@ -51,7 +51,7 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 func TestDiskCacheVersionInvalidation(t *testing.T) {
 	defer ResetMetrics()
 	p := Params{Scale: 1, Config: config.Small(), Dilute: 60, CacheDir: t.TempDir()}
-	j := job{workload: "vecadd"}
+	j := Job{Workload: "vecadd"}
 
 	ResetMetrics()
 	if _, err := memoRun(p, j); err != nil {
@@ -86,7 +86,7 @@ func TestDiskCacheVersionInvalidation(t *testing.T) {
 func TestDiskCacheQuarantine(t *testing.T) {
 	defer ResetMetrics()
 	p := Params{Scale: 1, Config: config.Small(), Dilute: 60, CacheDir: t.TempDir()}
-	j := job{workload: "vecadd"}
+	j := Job{Workload: "vecadd"}
 
 	corruptions := []struct {
 		name   string

@@ -263,15 +263,15 @@ func figSwapLatency() Experiment {
 		Title: "Sensitivity to swap latency (sweep subset)",
 		Paper: "VT's benefit relies on swaps costing only scheduling-state save/restore",
 		Run: func(p Params, w io.Writer) error {
-			var jobs []job
+			var jobs []Job
 			for _, n := range sweepNames() {
-				jobs = append(jobs, job{workload: n, variant: "baseline"})
+				jobs = append(jobs, Job{Workload: n, Variant: "baseline"})
 				for _, l := range lats {
 					l := l
-					jobs = append(jobs, job{
-						workload: n,
-						variant:  fmt.Sprintf("lat%d", l),
-						mutate: func(c *config.GPUConfig) {
+					jobs = append(jobs, Job{
+						Workload: n,
+						Variant:  fmt.Sprintf("lat%d", l),
+						Mutate: func(c *config.GPUConfig) {
 							c.Policy = config.PolicyVT
 							c.VT.SwapOutLatency = l
 							c.VT.SwapInLatency = l
@@ -319,15 +319,15 @@ func figVirtualCap() Experiment {
 		Title: "Sensitivity to the virtual CTA budget (sweep subset)",
 		Paper: "benefit grows with resident CTAs until capacity binds",
 		Run: func(p Params, w io.Writer) error {
-			var jobs []job
+			var jobs []Job
 			for _, n := range sweepNames() {
-				jobs = append(jobs, job{workload: n, variant: "baseline"})
+				jobs = append(jobs, Job{Workload: n, Variant: "baseline"})
 				for _, cp := range caps {
 					cp := cp
-					jobs = append(jobs, job{
-						workload: n,
-						variant:  fmt.Sprintf("cap%d", cp),
-						mutate: func(c *config.GPUConfig) {
+					jobs = append(jobs, Job{
+						Workload: n,
+						Variant:  fmt.Sprintf("cap%d", cp),
+						Mutate: func(c *config.GPUConfig) {
 							c.Policy = config.PolicyVT
 							c.VT.MaxVirtualCTAsPerSM = cp
 						},
@@ -378,16 +378,16 @@ func figRFSize() Experiment {
 		Title: "Sensitivity to register file size (sweep subset)",
 		Paper: "a larger register file raises the capacity limit and VT's headroom",
 		Run: func(p Params, w io.Writer) error {
-			var jobs []job
+			var jobs []Job
 			for _, n := range sweepNames() {
 				for _, sz := range sizes {
 					sz := sz
 					for _, pol := range []config.Policy{config.PolicyBaseline, config.PolicyVT} {
 						pol := pol
-						jobs = append(jobs, job{
-							workload: n,
-							variant:  fmt.Sprintf("%s-rf%d", pol, sz),
-							mutate: func(c *config.GPUConfig) {
+						jobs = append(jobs, Job{
+							Workload: n,
+							Variant:  fmt.Sprintf("%s-rf%d", pol, sz),
+							Mutate: func(c *config.GPUConfig) {
 								c.Policy = pol
 								c.RegFileSize = sz
 							},
@@ -434,16 +434,16 @@ func figScheduler() Experiment {
 		Title: "Interaction with the warp scheduler (GTO vs LRR)",
 		Paper: "VT's gains are not an artifact of one warp scheduling policy",
 		Run: func(p Params, w io.Writer) error {
-			var jobs []job
+			var jobs []Job
 			for _, n := range sweepNames() {
 				for _, sk := range []config.SchedulerKind{config.SchedGTO, config.SchedLRR} {
 					sk := sk
 					for _, pol := range []config.Policy{config.PolicyBaseline, config.PolicyVT} {
 						pol := pol
-						jobs = append(jobs, job{
-							workload: n,
-							variant:  fmt.Sprintf("%s-%s", pol, sk),
-							mutate: func(c *config.GPUConfig) {
+						jobs = append(jobs, Job{
+							Workload: n,
+							Variant:  fmt.Sprintf("%s-%s", pol, sk),
+							Mutate: func(c *config.GPUConfig) {
 								c.Policy = pol
 								c.Scheduler = sk
 							},

@@ -33,15 +33,15 @@ func ablationVT() Experiment {
 		Title: "VT design-space ablation (sweep subset)",
 		Paper: "mechanism choices: full-stall trigger, FIFO-age activation, single context-buffer port",
 		Run: func(p Params, w io.Writer) error {
-			var jobs []job
+			var jobs []Job
 			for _, n := range sweepNames() {
-				jobs = append(jobs, job{workload: n, variant: "baseline"})
+				jobs = append(jobs, Job{Workload: n, Variant: "baseline"})
 				for _, v := range variants {
 					v := v
-					jobs = append(jobs, job{
-						workload: n,
-						variant:  v.name,
-						mutate: func(c *config.GPUConfig) {
+					jobs = append(jobs, Job{
+						Workload: n,
+						Variant:  v.name,
+						Mutate: func(c *config.GPUConfig) {
 							c.Policy = config.PolicyVT
 							v.mutate(c)
 						},
@@ -98,16 +98,16 @@ func ablationModel() Experiment {
 		Title: "Simulator-model ablation: VT gain robustness (sweep subset)",
 		Paper: "the benefit follows from scheduling-limit virtualization, not from one microarchitectural detail",
 		Run: func(p Params, w io.Writer) error {
-			var jobs []job
+			var jobs []Job
 			for _, n := range sweepNames() {
 				for _, m := range models {
 					m := m
 					for _, pol := range []config.Policy{config.PolicyBaseline, config.PolicyVT} {
 						pol := pol
-						jobs = append(jobs, job{
-							workload: n,
-							variant:  pol.String() + "-" + m.name,
-							mutate: func(c *config.GPUConfig) {
+						jobs = append(jobs, Job{
+							Workload: n,
+							Variant:  pol.String() + "-" + m.name,
+							Mutate: func(c *config.GPUConfig) {
 								c.Policy = pol
 								m.mutate(c)
 							},

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -86,7 +87,7 @@ func ckEntryFor(prefixFP string) *ckEntry {
 // forkPlan annotates jobs that belong to a prefix group worth forking:
 // at least two members with distinct full fingerprints (identical jobs
 // already coalesce in the memo cache) sharing a neutralized fingerprint.
-func forkPlan(p Params, jobs []job) []job {
+func forkPlan(p Params, jobs []Job) []Job {
 	if !p.Checkpoint || p.Sampling.Enabled() {
 		return jobs
 	}
@@ -94,15 +95,15 @@ func forkPlan(p Params, jobs []job) []job {
 	members := map[string]map[string]bool{} // prefixFP -> set of full FPs
 	for i, j := range jobs {
 		cfg := p.Config
-		if j.mutate != nil {
-			j.mutate(&cfg)
+		if j.Mutate != nil {
+			j.Mutate(&cfg)
 		}
-		fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg, gpu.SamplingOptions{})
+		fp, err := fingerprint(j.Workload, p.Scale, p.Dilute, &cfg, gpu.SamplingOptions{})
 		if err != nil {
 			continue
 		}
 		ncfg := gpu.ForkNeutralizedConfig(cfg)
-		pfp, err := fingerprint(j.workload, p.Scale, p.Dilute, &ncfg, gpu.SamplingOptions{})
+		pfp, err := fingerprint(j.Workload, p.Scale, p.Dilute, &ncfg, gpu.SamplingOptions{})
 		if err != nil {
 			continue
 		}
@@ -112,11 +113,11 @@ func forkPlan(p Params, jobs []job) []job {
 		}
 		members[pfp][fp] = true
 	}
-	out := make([]job, len(jobs))
+	out := make([]Job, len(jobs))
 	copy(out, jobs)
 	for i := range out {
 		if pfp := prefixes[i]; pfp != "" && len(members[pfp]) >= 2 {
-			out[i].prefixFP = pfp
+			out[i].PrefixFP = pfp
 		}
 	}
 	return out
@@ -127,13 +128,13 @@ func forkPlan(p Params, jobs []job) []job {
 // the donor's checkpoint. Returns the result plus the prefix cycles the
 // job did NOT simulate (zero for the donor and for fallback full runs),
 // so the caller can keep SimCycles an honest count of simulated work.
-func forkExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result, error, int64) {
-	ce := ckEntryFor(j.prefixFP)
+func forkExecute(p Params, j Job, cfg config.GPUConfig, fp string) (*gpu.Result, error, int64) {
+	ce := ckEntryFor(j.PrefixFP)
 	ce.once.Do(func() {
 		st := storeFor(p)
 		if st != nil {
-			lid := p.Trace.Begin(p.span, "fork.ckload", j.workload, j.variant)
-			ck := diskLoadCheckpoint(st, j.prefixFP)
+			lid := p.Trace.Begin(p.span, "fork.ckload", j.Workload, j.Variant)
+			ck := diskLoadCheckpoint(p.ctx(), st, j.PrefixFP)
 			if ck != nil {
 				p.Trace.SetAttr(lid, "outcome", "hit")
 				p.Trace.SetAttr(lid, "cycle", fmt.Sprint(ck.Cycle))
@@ -151,8 +152,8 @@ func forkExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result,
 		if ce.ck != nil {
 			bumpMetric(func(m *RunMetrics) { m.CheckpointsCaptured++ })
 			if st != nil {
-				sid := p.Trace.Begin(p.span, "fork.ckstore", j.workload, j.variant)
-				diskStoreCheckpoint(st, j.prefixFP, ce.ck)
+				sid := p.Trace.Begin(p.span, "fork.ckstore", j.Workload, j.Variant)
+				diskStoreCheckpoint(p.ctx(), st, j.PrefixFP, ce.ck)
 				p.Trace.End(sid)
 			}
 		}
@@ -174,7 +175,7 @@ func forkExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result,
 	})
 	spec := &forkSpec{
 		ck:         ce.ck,
-		forkedFrom: fmt.Sprintf("%s@%d", cacheKey(j.prefixFP)[:12], ce.ck.Cycle),
+		forkedFrom: fmt.Sprintf("%s@%d", cacheKey(j.PrefixFP)[:12], ce.ck.Cycle),
 	}
 	res, err := supervisedExecuteFork(p, j, cfg, fp, spec)
 	if err != nil {
@@ -198,13 +199,13 @@ type ckDiskEntry struct {
 // (stale versions, fingerprint mismatch) quarantine the object exactly
 // like corrupt result entries, and the caller falls back to a full
 // simulation.
-func diskLoadCheckpoint(st *resultstore.Store, prefixFP string) *gpu.Checkpoint {
+func diskLoadCheckpoint(ctx context.Context, st *resultstore.Store, prefixFP string) *gpu.Checkpoint {
 	if st == nil {
 		return nil
 	}
 	key := cacheKey(prefixFP)
 	var b []byte
-	err := storeRetry(func() error {
+	err := storeRetry(ctx, func() error {
 		var gerr error
 		b, gerr = st.Get(resultstore.KindCheckpoint, key)
 		return gerr
@@ -242,7 +243,7 @@ func diskLoadCheckpoint(st *resultstore.Store, prefixFP string) *gpu.Checkpoint 
 // diskStoreCheckpoint persists a checkpoint for the prefix fingerprint
 // as one store transaction. Best-effort beyond the bounded transient
 // retry, like result persistence.
-func diskStoreCheckpoint(st *resultstore.Store, prefixFP string, ck *gpu.Checkpoint) {
+func diskStoreCheckpoint(ctx context.Context, st *resultstore.Store, prefixFP string, ck *gpu.Checkpoint) {
 	if st == nil {
 		return
 	}
@@ -256,5 +257,5 @@ func diskStoreCheckpoint(st *resultstore.Store, prefixFP string, ck *gpu.Checkpo
 	}
 	tx := st.Begin()
 	tx.Put(resultstore.KindCheckpoint, cacheKey(prefixFP), b)
-	commitStoreTx(tx)
+	commitStoreTx(ctx, tx)
 }

@@ -15,14 +15,14 @@ import (
 // swapLatJobs builds a small swap-latency sweep over one workload — the
 // canonical prefix-fork shape: every job shares the run prefix up to the
 // first swap.
-func swapLatJobs(workload string, lats []int) []job {
-	var jobs []job
+func swapLatJobs(workload string, lats []int) []Job {
+	var jobs []Job
 	for _, l := range lats {
 		l := l
-		jobs = append(jobs, job{
-			workload: workload,
-			variant:  fmt.Sprintf("lat%d", l),
-			mutate: func(c *config.GPUConfig) {
+		jobs = append(jobs, Job{
+			Workload: workload,
+			Variant:  fmt.Sprintf("lat%d", l),
+			Mutate: func(c *config.GPUConfig) {
 				c.Policy = config.PolicyVT
 				c.VT.SwapOutLatency = l
 				c.VT.SwapInLatency = l
@@ -43,35 +43,35 @@ func TestForkPlanGrouping(t *testing.T) {
 	p := forkTestParams()
 	p.Checkpoint = true
 	jobs := swapLatJobs("pathfinder", []int{0, 64, 256})
-	jobs = append(jobs, job{
-		workload: "pathfinder",
-		variant:  "bigger",
-		mutate: func(c *config.GPUConfig) {
+	jobs = append(jobs, Job{
+		Workload: "pathfinder",
+		Variant:  "bigger",
+		Mutate: func(c *config.GPUConfig) {
 			c.Policy = config.PolicyVT
 			c.NumSMs++ // structural: its prefix differs
 		},
 	})
-	jobs = append(jobs, job{workload: "nw", variant: "solo"})
+	jobs = append(jobs, Job{Workload: "nw", Variant: "solo"})
 
 	planned := forkPlan(p, jobs)
 	for i := 0; i < 3; i++ {
-		if planned[i].prefixFP == "" {
+		if planned[i].PrefixFP == "" {
 			t.Errorf("sweep job %d not marked for forking", i)
 		}
-		if planned[i].prefixFP != planned[0].prefixFP {
+		if planned[i].PrefixFP != planned[0].PrefixFP {
 			t.Errorf("sweep job %d in a different prefix group", i)
 		}
 	}
-	if planned[3].prefixFP != "" {
+	if planned[3].PrefixFP != "" {
 		t.Error("structurally different job joined the prefix group")
 	}
-	if planned[4].prefixFP != "" {
+	if planned[4].PrefixFP != "" {
 		t.Error("singleton job marked for forking")
 	}
 
 	p.Checkpoint = false
 	for i, j := range forkPlan(p, jobs) {
-		if j.prefixFP != "" {
+		if j.PrefixFP != "" {
 			t.Errorf("job %d marked with Checkpoint disabled", i)
 		}
 	}

@@ -124,6 +124,30 @@ type Params struct {
 	// preserving the old package-global behavior.
 	Monitor *Monitor
 
+	// Batch pipeline overrides (see the Scheduler/Executor/ResultSink
+	// interfaces below). Nil selects the in-process defaults.
+
+	// Scheduler plans each batch before execution; nil uses the
+	// prefix-fork scheduler (forkPlan grouping, a no-op without
+	// Checkpoint).
+	Scheduler Scheduler
+	// Executor produces each planned job's Result; nil executes
+	// in-process through the memoized, supervised path. The sweep
+	// fabric (internal/fabric) installs an executor that dispatches
+	// jobs to a remote worker fleet instead.
+	Executor Executor
+	// Ctx, when non-nil, cancels the sweep's dispatch loop: on
+	// cancellation RunJobs stops starting jobs (the remainder fail with
+	// the context error) while in-flight jobs drain to completion, and
+	// store retries abandon their backoff sleeps. Nil never cancels.
+	Ctx context.Context
+	// OnOutcome, when non-nil, observes every supervised run's
+	// completion-log entry as it is recorded (res is nil for failures).
+	// The fabric worker uses it to stream outcomes back to the
+	// coordinator's distributed completion log. Must be safe for
+	// concurrent use.
+	OnOutcome func(e JournalEntry, res *gpu.Result)
+
 	// span is the current parent span, threaded through the by-value
 	// Params copies as execution descends (experiment → job → attempt).
 	span sweepobs.SpanID
@@ -134,12 +158,61 @@ func DefaultParams() Params {
 	return Params{Scale: 1, Config: config.GTX480()}
 }
 
-func (p Params) workers() int {
-	if p.Workers > 0 {
-		return p.Workers
+// maxSweepWorkers bounds the per-batch simulation parallelism: beyond
+// it the semaphore buffer and per-job goroutine stacks cost more than
+// any plausible machine can use. Scale past one machine comes from the
+// sweep fabric, not from wider in-process fan-out.
+const maxSweepWorkers = 1024
+
+// resolveWorkers clamps a requested concurrent-simulation count to
+// [1, maxSweepWorkers]; n <= 0 selects GOMAXPROCS.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxSweepWorkers {
+		n = maxSweepWorkers
+	}
+	return n
 }
+
+// ResolveWorkers is resolveWorkers for callers outside the package
+// (the fabric worker sizes its lease slots with the same rule).
+func ResolveWorkers(n int) int { return resolveWorkers(n) }
+
+func (p Params) workers() int { return resolveWorkers(p.Workers) }
+
+// scheduler resolves the batch scheduler (default: prefix forking).
+func (p Params) scheduler() Scheduler {
+	if p.Scheduler != nil {
+		return p.Scheduler
+	}
+	return prefixScheduler{}
+}
+
+// executor resolves the job executor (default: in-process).
+func (p Params) executor() Executor {
+	if p.Executor != nil {
+		return p.Executor
+	}
+	return localExecutor{}
+}
+
+// ctx resolves the sweep context (default: never canceled).
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
+}
+
+// Span exposes the current parent span to out-of-package Executor
+// implementations, so fabric dispatch spans nest under the job span
+// exactly like local execute spans do.
+func (p Params) Span() sweepobs.SpanID { return p.span }
 
 // Experiment is one reproducible table or figure.
 type Experiment struct {
@@ -243,15 +316,68 @@ func RunOne(e Experiment, p Params, w io.Writer) error {
 	return err
 }
 
-// job is one simulation request.
-type job struct {
-	workload string
-	variant  string // distinguishes sweep points; "" for plain runs
-	mutate   func(*config.GPUConfig)
-	// prefixFP, when non-empty, marks the job as part of a prefix-fork
-	// group (set by forkPlan; see fork.go).
-	prefixFP string
+// Job is one simulation request: a named workload executed under a
+// (possibly mutated) copy of the sweep's base config.
+type Job struct {
+	Workload string
+	Variant  string // distinguishes sweep points; "" for plain runs
+	// Mutate derives the job's hardware config from the sweep's base
+	// config; nil runs the base config unchanged.
+	Mutate func(*config.GPUConfig)
+	// PrefixFP, when non-empty, marks the job as part of a prefix-fork
+	// group (set by the scheduler; see fork.go).
+	PrefixFP string
 }
+
+// ConfigFor resolves the job's hardware config against p's base config.
+func (j Job) ConfigFor(p Params) config.GPUConfig {
+	cfg := p.Config
+	if j.Mutate != nil {
+		j.Mutate(&cfg)
+	}
+	return cfg
+}
+
+// The batch pipeline is split into three replaceable stages, so the
+// in-process path and the distributed sweep fabric (internal/fabric)
+// share one execution skeleton: the Scheduler turns a raw batch into a
+// plan (ordering plus prefix-fork grouping), the Executor produces each
+// planned job's Result — in-process (memoized, supervised) by default,
+// or by dispatching to a remote worker fleet — and the ResultSink
+// collects completions as they land.
+
+// Scheduler plans a batch of jobs before execution. Implementations
+// must preserve the batch's (workload, variant) points; they may
+// reorder or annotate them.
+type Scheduler interface {
+	Plan(p Params, jobs []Job) []Job
+}
+
+// Executor produces one planned job's Result. Implementations must be
+// safe for concurrent use; the Params value passed to Execute carries
+// the job's span context and must be threaded into any harness calls.
+type Executor interface {
+	Execute(p Params, j Job) (*gpu.Result, error)
+}
+
+// ResultSink receives completions as jobs finish, in completion order.
+// Implementations must be safe for concurrent use. Failed jobs are not
+// delivered; their errors surface through RunJobs' return value.
+type ResultSink interface {
+	Collect(j Job, res *gpu.Result)
+}
+
+// prefixScheduler is the default Scheduler: forkPlan prefix grouping
+// (a no-op unless Params.Checkpoint is set).
+type prefixScheduler struct{}
+
+func (prefixScheduler) Plan(p Params, jobs []Job) []Job { return forkPlan(p, jobs) }
+
+// localExecutor is the default Executor: memoized, supervised,
+// in-process execution (see memo.go and supervisor.go).
+type localExecutor struct{}
+
+func (localExecutor) Execute(p Params, j Job) (*gpu.Result, error) { return memoRun(p, j) }
 
 // key identifies a completed run.
 type key struct {
@@ -259,21 +385,44 @@ type key struct {
 	Variant  string
 }
 
+// mapSink collects results keyed by (workload, variant).
+type mapSink struct {
+	mu      sync.Mutex
+	results map[key]*gpu.Result
+}
+
+func (s *mapSink) Collect(j Job, res *gpu.Result) {
+	s.mu.Lock()
+	s.results[key{j.Workload, j.Variant}] = res
+	s.mu.Unlock()
+}
+
 // runMany executes all jobs with bounded parallelism and returns results
-// keyed by (workload, variant). Repeated simulation points are served
-// from the memo cache (see memo.go). Every job runs even when earlier
-// ones fail — the supervisor turns failures into repro bundles — and the
-// per-job errors are joined (in job order) into the returned error, so a
-// partially failed batch still surfaces as a failure to its experiment.
-// Each run carries pprof labels so CPU profiles attribute samples to the
-// (workload, variant) that burned them.
-func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
+// keyed by (workload, variant): RunJobs with a map sink.
+func runMany(p Params, jobs []Job) (map[key]*gpu.Result, error) {
+	sink := &mapSink{results: make(map[key]*gpu.Result, len(jobs))}
+	err := RunJobs(p, jobs, sink)
+	return sink.results, err
+}
+
+// RunJobs plans a batch with the Params' scheduler, executes it with
+// the Params' executor under bounded parallelism, and streams
+// successful completions into sink. Repeated simulation points are
+// served from the memo cache (see memo.go). Every job runs even when
+// earlier ones fail — the supervisor turns failures into repro bundles
+// — and the per-job errors are joined (in job order) into the returned
+// error, so a partially failed batch still surfaces as a failure to its
+// experiment. A canceled Params.Ctx stops dispatching: jobs not yet
+// started fail with the context error while in-flight jobs drain to
+// completion. Each run carries pprof labels so CPU profiles attribute
+// samples to the (workload, variant) that burned them.
+func RunJobs(p Params, jobs []Job, sink ResultSink) error {
 	plan := p.Trace.Begin(p.span, "plan", "", "")
-	jobs = forkPlan(p, jobs)
+	jobs = p.scheduler().Plan(p, jobs)
 	p.Trace.End(plan)
 	mon := p.monitor()
-	results := make(map[key]*gpu.Result, len(jobs))
-	var mu sync.Mutex
+	exec := p.executor()
+	ctx := p.ctx()
 	errs := make([]error, len(jobs))
 	sem := make(chan struct{}, p.workers())
 	var wg sync.WaitGroup
@@ -282,47 +431,60 @@ func runMany(p Params, jobs []job) (map[key]*gpu.Result, error) {
 		// goroutines exist at a time (a 590-job RunAll used to park
 		// hundreds of them on this channel). The job span starts after
 		// the slot is taken, so tracer worker slots mirror real
-		// concurrency.
-		sem <- struct{}{}
+		// concurrency. A canceled sweep context wins the race: remaining
+		// jobs are skipped with the context error while already-started
+		// jobs drain. The non-blocking check first gives cancellation
+		// strict priority — the two-way select alone would pick randomly
+		// when a slot and the cancellation are both ready.
+		select {
+		case <-ctx.Done():
+			errs[i] = fmt.Errorf("%s/%s: %w", j.Workload, j.Variant, ctx.Err())
+			continue
+		default:
+		}
+		select {
+		case <-ctx.Done():
+			errs[i] = fmt.Errorf("%s/%s: %w", j.Workload, j.Variant, ctx.Err())
+			continue
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
-		go func(i int, j job) {
+		go func(i int, j Job) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			var res *gpu.Result
 			var err error
-			labels := pprof.Labels("workload", j.workload, "variant", j.variant)
+			labels := pprof.Labels("workload", j.Workload, "variant", j.Variant)
 			pprof.Do(currentLabelCtx(), labels, func(context.Context) {
-				jid := p.Trace.BeginJob(p.span, j.workload, j.variant)
+				jid := p.Trace.BeginJob(p.span, j.Workload, j.Variant)
 				mon.beginJob(j)
 				defer mon.endJob(j)
 				defer p.Trace.EndJob(jid)
 				jp := p
 				jp.span = jid
-				res, err = memoRun(jp, j)
+				res, err = exec.Execute(jp, j)
 			})
 			if err != nil {
-				errs[i] = fmt.Errorf("%s/%s: %w", j.workload, j.variant, err)
+				errs[i] = fmt.Errorf("%s/%s: %w", j.Workload, j.Variant, err)
 				return
 			}
-			mu.Lock()
-			results[key{j.workload, j.variant}] = res
-			mu.Unlock()
+			sink.Collect(j, res)
 		}(i, j)
 	}
 	wg.Wait()
-	return results, errors.Join(errs...)
+	return errors.Join(errs...)
 }
 
 // policyJobs builds one job per (workload, policy) pair.
-func policyJobs(names []string, policies []config.Policy) []job {
-	var jobs []job
+func policyJobs(names []string, policies []config.Policy) []Job {
+	var jobs []Job
 	for _, n := range names {
 		for _, p := range policies {
 			p := p
-			jobs = append(jobs, job{
-				workload: n,
-				variant:  p.String(),
-				mutate:   func(c *config.GPUConfig) { c.Policy = p },
+			jobs = append(jobs, Job{
+				Workload: n,
+				Variant:  p.String(),
+				Mutate:   func(c *config.GPUConfig) { c.Policy = p },
 			})
 		}
 	}

@@ -204,7 +204,7 @@ func TestRunAllMemoizes(t *testing.T) {
 
 func TestRunManyPropagatesErrors(t *testing.T) {
 	p := testParams()
-	_, err := runMany(p, []job{{workload: "does-not-exist", variant: "x"}})
+	_, err := runMany(p, []Job{{Workload: "does-not-exist", Variant: "x"}})
 	if err == nil {
 		t.Fatal("expected error for unknown workload")
 	}

@@ -111,6 +111,57 @@ type RunMetrics struct {
 	StoreRetries int
 }
 
+// add folds another set of counters into m: every counter sums, and
+// MaxErrorBound takes the maximum. Used to aggregate worker-reported
+// metrics into the coordinator's fleet totals.
+func (m *RunMetrics) add(d RunMetrics) {
+	m.Requests += d.Requests
+	m.Executed += d.Executed
+	m.SimCycles += d.SimCycles
+	m.Panics += d.Panics
+	m.InvariantTrips += d.InvariantTrips
+	m.Deadlines += d.Deadlines
+	m.Retries += d.Retries
+	m.Degraded += d.Degraded
+	m.Failures += d.Failures
+	m.ResumedFailed += d.ResumedFailed
+	m.TelemetryWindows += d.TelemetryWindows
+	m.TelemetrySpans += d.TelemetrySpans
+	m.CheckpointsCaptured += d.CheckpointsCaptured
+	m.CheckpointHits += d.CheckpointHits
+	m.CheckpointMisses += d.CheckpointMisses
+	m.PrefixCyclesSaved += d.PrefixCyclesSaved
+	m.SampledRuns += d.SampledRuns
+	m.SampledSpans += d.SampledSpans
+	m.ExtrapolatedCycles += d.ExtrapolatedCycles
+	m.FunctionalInstrs += d.FunctionalInstrs
+	if d.MaxErrorBound > m.MaxErrorBound {
+		m.MaxErrorBound = d.MaxErrorBound
+	}
+	m.StoreHits += d.StoreHits
+	m.StoreMisses += d.StoreMisses
+	m.StoreRepairs += d.StoreRepairs
+	m.StoreRetries += d.StoreRetries
+}
+
+// AddMetrics folds externally accumulated counters into the
+// process-wide metrics — how the sweep fabric's coordinator folds
+// remotely executed work into the totals its report and monitor show.
+func AddMetrics(d RunMetrics) {
+	bumpMetric(func(m *RunMetrics) { m.add(d) })
+}
+
+// NoteRemoteCompletion folds one remotely executed job's metric delta
+// into the process counters and p's monitor — including the windowed
+// simcycles/s rate — so a fabric coordinator's report and dashboard
+// reflect work the fleet simulated on its behalf.
+func NoteRemoteCompletion(p Params, d RunMetrics) {
+	AddMetrics(d)
+	if d.SimCycles > 0 {
+		p.monitor().noteFinished(d.SimCycles)
+	}
+}
+
 type memoEntry struct {
 	once sync.Once
 	res  *gpu.Result
@@ -171,16 +222,46 @@ func fingerprint(workload string, scale, dilute int, cfg *config.GPUConfig, samp
 	return fmt.Sprintf("%s|s%d|d%d|%s", workload, scale, dilute, b), nil
 }
 
+// FingerprintKey returns the content fingerprint and cache key of one
+// resolved job under p. The fabric keys wire jobs by the cache key —
+// the same hex id that names the job's store object and journal lines
+// — and workers recompute it to verify a lease describes the point
+// they think it does.
+func FingerprintKey(p Params, j Job) (fp, key string, err error) {
+	cfg := j.ConfigFor(p)
+	fp, err = fingerprint(j.Workload, p.Scale, p.Dilute, &cfg, p.Sampling)
+	if err != nil {
+		return "", "", err
+	}
+	return fp, cacheKey(fp), nil
+}
+
+// CacheKey hashes a content fingerprint into the stable hex id used for
+// store objects and journal entries (exported for the sweep fabric).
+func CacheKey(fp string) string { return cacheKey(fp) }
+
+// LoadCachedResult returns p's store's Result for the fingerprint, or
+// nil. The coordinator consults it before dispatching a job to the
+// fleet, so resumed or repeated sweeps lease only missing points.
+func LoadCachedResult(p Params, fp string) *gpu.Result {
+	return diskLoad(p.ctx(), storeFor(p), fp)
+}
+
+// ExecuteJob runs one resolved job through the full in-process path —
+// memo cache, result store, prefix forking, supervised execution —
+// and is the fabric worker's execution entry point.
+func ExecuteJob(p Params, j Job) (*gpu.Result, error) { return memoRun(p, j) }
+
 // memoRun returns the result for one job, executing the simulation only
 // if no identical run has completed (or is in flight) since the last
 // ResetMetrics. Concurrent requests for the same fingerprint are
 // coalesced into a single execution.
-func memoRun(p Params, j job) (*gpu.Result, error) {
+func memoRun(p Params, j Job) (*gpu.Result, error) {
 	cfg := p.Config
-	if j.mutate != nil {
-		j.mutate(&cfg)
+	if j.Mutate != nil {
+		j.Mutate(&cfg)
 	}
-	fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg, p.Sampling)
+	fp, err := fingerprint(j.Workload, p.Scale, p.Dilute, &cfg, p.Sampling)
 	if err != nil {
 		// Unfingerprintable config: fall back to an unmemoized run.
 		return supervisedExecute(p, j, cfg, "")
@@ -197,10 +278,10 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 		// Fault-injected runs bypass the disk cache in both directions: a
 		// cached hit would skip the fault, and a faulted (or degraded)
 		// outcome must never be served to an un-injected sweep.
-		injected := p.Inject != nil && p.Inject.Matches(j.workload, j.variant)
+		injected := p.Inject != nil && p.Inject.Matches(j.Workload, j.Variant)
 		if st := storeFor(p); st != nil && !injected {
-			sid := p.Trace.Begin(p.span, "store.get", j.workload, j.variant)
-			res := diskLoad(st, fp)
+			sid := p.Trace.Begin(p.span, "store.get", j.Workload, j.Variant)
+			res := diskLoad(p.ctx(), st, fp)
 			if res != nil {
 				p.Trace.SetAttr(sid, "outcome", "hit")
 				p.Trace.End(sid)
@@ -216,7 +297,7 @@ func memoRun(p Params, j job) (*gpu.Result, error) {
 		// Sampled sweeps never fork: a checkpoint capture could land
 		// mid-span (gpu.Run rejects the combination), and a prefix donor's
 		// extrapolated clock would not line up across configs anyway.
-		if j.prefixFP != "" && !injected && !p.Sampling.Enabled() {
+		if j.PrefixFP != "" && !injected && !p.Sampling.Enabled() {
 			e.res, e.err, prefix = forkExecute(p, j, cfg, fp)
 		} else {
 			e.res, e.err = supervisedExecute(p, j, cfg, fp)

@@ -96,20 +96,20 @@ func (m *Monitor) Reset() {
 	m.mu.Unlock()
 }
 
-func (m *Monitor) beginJob(j job) {
+func (m *Monitor) beginJob(j Job) {
 	now := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.started.IsZero() {
 		m.started = now
 	}
-	m.active[key{j.workload, j.variant}] = now
+	m.active[key{j.Workload, j.Variant}] = now
 }
 
-func (m *Monitor) endJob(j job) {
+func (m *Monitor) endJob(j Job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.active, key{j.workload, j.variant})
+	delete(m.active, key{j.Workload, j.Variant})
 }
 
 // noteFinished records one executed run's simulated cycles at its

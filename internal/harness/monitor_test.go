@@ -93,7 +93,7 @@ func TestMonitorWindowedRate(t *testing.T) {
 	m := NewMonitor()
 	m.now = func() time.Time { return now }
 
-	j := job{workload: "bfs", variant: "vt"}
+	j := Job{Workload: "bfs", Variant: "vt"}
 	m.beginJob(j)
 	now = now.Add(10 * time.Second)
 	m.noteFinished(5000)
@@ -166,7 +166,7 @@ func TestMonitorConcurrentScrape(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				j := job{workload: "w", variant: fmt.Sprintf("g%d-%d", g, i)}
+				j := Job{Workload: "w", Variant: fmt.Sprintf("g%d-%d", g, i)}
 				m.beginJob(j)
 				m.noteFinished(10)
 				m.endJob(j)

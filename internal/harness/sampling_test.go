@@ -198,7 +198,7 @@ func TestSamplingSwapLatDrill(t *testing.T) {
 	ResetMetrics()
 	defer ResetMetrics()
 	jobs := append(swapLatJobs("pathfinder", []int{64}),
-		job{workload: "pathfinder", variant: "baseline"})
+		Job{Workload: "pathfinder", Variant: "baseline"})
 	p := Params{Scale: 1, Config: config.Small(), Workers: 2}
 	exact, err := runMany(p, jobs)
 	if err != nil {

@@ -123,7 +123,7 @@ func TestJournalConcurrentAppendsNoInterleave(t *testing.T) {
 
 // drillJobs is the crash-drill sweep shape: one workload under two
 // policies, heavily diluted, with distinct fingerprints.
-func drillJobs() (Params, []job) {
+func drillJobs() (Params, []Job) {
 	p := Params{Scale: 1, Config: config.Small(), Dilute: 60}
 	jobs := policyJobs([]string{"vecadd"},
 		[]config.Policy{config.PolicyBaseline, config.PolicyVT})
@@ -131,12 +131,12 @@ func drillJobs() (Params, []job) {
 }
 
 // drillKeys returns the cache keys (journal FPs) of the drill jobs.
-func drillKeys(t *testing.T, p Params, jobs []job) []string {
+func drillKeys(t *testing.T, p Params, jobs []Job) []string {
 	keys := make([]string, len(jobs))
 	for i, j := range jobs {
 		cfg := p.Config
-		j.mutate(&cfg)
-		fp, err := fingerprint(j.workload, p.Scale, p.Dilute, &cfg, p.Sampling)
+		j.Mutate(&cfg)
+		fp, err := fingerprint(j.Workload, p.Scale, p.Dilute, &cfg, p.Sampling)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +175,7 @@ func journalOKSet(t *testing.T, path string) map[string]bool {
 // under the given Params, stopping at a simulated process death
 // (*faultinject.StoreKill) like a real crash would. Returns whether the
 // sweep was killed and the per-job results gathered before death.
-func runDrillSweep(t *testing.T, p Params, jobs []job) (killed bool, results []*gpu.Result) {
+func runDrillSweep(t *testing.T, p Params, jobs []Job) (killed bool, results []*gpu.Result) {
 	results = make([]*gpu.Result, len(jobs))
 	for i, j := range jobs {
 		res, died := func() (r *gpu.Result, died bool) {
@@ -190,7 +190,7 @@ func runDrillSweep(t *testing.T, p Params, jobs []job) (killed bool, results []*
 			}()
 			r, err := memoRun(p, j)
 			if err != nil {
-				t.Fatalf("%s/%s: %v", j.workload, j.variant, err)
+				t.Fatalf("%s/%s: %v", j.Workload, j.Variant, err)
 			}
 			return r, false
 		}()

@@ -88,8 +88,8 @@ type attempt struct {
 // left its launch state half-mutated. A non-nil spec makes the attempt a
 // checkpoint donor (capture while the fork guard holds) or a fork (resume
 // from spec.ck instead of cycle zero).
-func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool, spec *forkSpec) (a attempt) {
-	eid := p.Trace.Begin(p.span, "execute", j.workload, j.variant)
+func runAttempt(p Params, j Job, cfg config.GPUConfig, safeMode bool, spec *forkSpec) (a attempt) {
+	eid := p.Trace.Begin(p.span, "execute", j.Workload, j.Variant)
 	if safeMode {
 		p.Trace.SetAttr(eid, "safe_mode", "true")
 	}
@@ -123,12 +123,12 @@ func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool, spec *fork
 			p.Trace.SetAttr(eid, "sampled", "true")
 		}
 		if a.ck != nil {
-			p.Trace.Event(eid, "fork.capture", j.workload, j.variant,
+			p.Trace.Event(eid, "fork.capture", j.Workload, j.Variant,
 				"cycle", fmt.Sprint(a.ck.Cycle))
 		}
 		p.Trace.End(eid)
 	}()
-	w, err := kernels.Build(j.workload, p.Scale)
+	w, err := kernels.Build(j.Workload, p.Scale)
 	if err != nil {
 		a.err = err
 		return
@@ -149,7 +149,7 @@ func runAttempt(p Params, j job, cfg config.GPUConfig, safeMode bool, spec *fork
 	// extrapolated issue-slot accounting cannot satisfy mid-span, so they
 	// execute exactly; every other run in a sampled sweep samples. Fork
 	// specs never coexist with sampling (see forkPlan and memoRun).
-	injected := p.Inject != nil && p.Inject.Matches(j.workload, j.variant)
+	injected := p.Inject != nil && p.Inject.Matches(j.Workload, j.Variant)
 	if p.Sampling.Enabled() && !injected {
 		opts.Sampling = p.Sampling
 	}
@@ -245,7 +245,7 @@ func bumpMetric(f func(*RunMetrics)) {
 
 // countFirstFailure classifies a first-attempt failure into the metrics
 // and emits the matching supervisor trace event under the job span.
-func countFirstFailure(p Params, j job, a attempt) {
+func countFirstFailure(p Params, j Job, a attempt) {
 	bumpMetric(func(m *RunMetrics) {
 		switch d := gpu.DiagnosticOf(a.err); {
 		case a.panicked:
@@ -258,18 +258,18 @@ func countFirstFailure(p Params, j job, a attempt) {
 	})
 	switch d := gpu.DiagnosticOf(a.err); {
 	case a.panicked:
-		p.Trace.Event(p.span, "supervisor.panic", j.workload, j.variant)
+		p.Trace.Event(p.span, "supervisor.panic", j.Workload, j.Variant)
 	case d != nil && d.Reason == gpu.ReasonInvariant:
-		p.Trace.Event(p.span, "supervisor.invariant", j.workload, j.variant)
+		p.Trace.Event(p.span, "supervisor.invariant", j.Workload, j.Variant)
 	case d != nil && d.Reason == gpu.ReasonDeadline:
-		p.Trace.Event(p.span, "supervisor.deadline", j.workload, j.variant)
+		p.Trace.Event(p.span, "supervisor.deadline", j.Workload, j.Variant)
 	}
 }
 
 // supervisedExecute runs one job through the supervisor: attempt, retry
 // ladder, journaling, and repro-bundle emission. fp may be empty when the
 // config was unfingerprintable (journaling is skipped then).
-func supervisedExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.Result, error) {
+func supervisedExecute(p Params, j Job, cfg config.GPUConfig, fp string) (*gpu.Result, error) {
 	return supervisedExecuteFork(p, j, cfg, fp, nil)
 }
 
@@ -277,7 +277,7 @@ func supervisedExecute(p Params, j job, cfg config.GPUConfig, fp string) (*gpu.R
 // capture checkpoints (donor) or resume from one (fork). spec.captured is
 // set only from the attempt whose result is returned, so a checkpoint
 // from a failed or superseded attempt never seeds forks.
-func supervisedExecuteFork(p Params, j job, cfg config.GPUConfig, fp string, spec *forkSpec) (*gpu.Result, error) {
+func supervisedExecuteFork(p Params, j Job, cfg config.GPUConfig, fp string, spec *forkSpec) (*gpu.Result, error) {
 	if p.Resume && p.Journal != nil && fp != "" &&
 		p.Journal.Status(cacheKey(fp)) == "failed" {
 		bumpMetric(func(m *RunMetrics) { m.ResumedFailed++ })
@@ -302,7 +302,7 @@ func supervisedExecuteFork(p Params, j job, cfg config.GPUConfig, fp string, spe
 	var second attempt
 	if retryable(first) {
 		bumpMetric(func(m *RunMetrics) { m.Retries++ })
-		p.Trace.Event(p.span, "supervisor.retry", j.workload, j.variant,
+		p.Trace.Event(p.span, "supervisor.retry", j.Workload, j.Variant,
 			"reason", firstFailureReason(first))
 		retried = true
 		second = runAttempt(p, j, cfg, true, spec)
@@ -321,8 +321,8 @@ func supervisedExecuteFork(p Params, j job, cfg config.GPUConfig, fp string, spe
 	}
 
 	f := &RunFailure{
-		Workload:        j.workload,
-		Variant:         j.variant,
+		Workload:        j.Workload,
+		Variant:         j.Variant,
 		Fingerprint:     fp,
 		Scale:           p.Scale,
 		Dilute:          p.Dilute,
@@ -351,6 +351,32 @@ func supervisedExecuteFork(p Params, j job, cfg config.GPUConfig, fp string, spe
 	return nil, &FailedRunError{Failure: f}
 }
 
+// buildJournalEntry assembles the completion-log line for one run
+// outcome. The same shape travels the JSONL journal, the result-store
+// transaction, and — in fabric mode — the wire between a worker and the
+// coordinator's distributed completion log.
+func buildJournalEntry(j Job, fp, status string, attempts int, res *gpu.Result, err error, forkedFrom string) JournalEntry {
+	e := JournalEntry{
+		FP:         cacheKey(fp),
+		Workload:   j.Workload,
+		Variant:    j.Variant,
+		Status:     status,
+		Attempts:   attempts,
+		ForkedFrom: forkedFrom,
+		Time:       time.Now().UTC().Format(time.RFC3339),
+	}
+	if res != nil {
+		e.Cycles = res.Cycles
+		if res.Sampling != nil {
+			e.ErrorBound = res.Sampling.ErrorBound
+		}
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	return e
+}
+
 // journalRecord persists one fingerprintable run's outcome. With a
 // result store attached (Params.CacheDir), the memoized Result and the
 // completion-journal line commit as a single store transaction —
@@ -358,40 +384,48 @@ func supervisedExecuteFork(p Params, j job, cfg config.GPUConfig, fp string, spe
 // transient I/O — so a crash can never leave a journal entry whose
 // Result is missing or a cached Result the journal never heard of.
 // Without a store, the journal line is appended directly as before.
-func (p Params) journalRecord(j job, fp, status string, attempts int, res *gpu.Result, err error, forkedFrom string) {
+func (p Params) journalRecord(j Job, fp, status string, attempts int, res *gpu.Result, err error, forkedFrom string) {
 	if fp == "" {
 		return
 	}
-	var entry *JournalEntry
-	if p.Journal != nil {
-		e := JournalEntry{
-			FP:         cacheKey(fp),
-			Workload:   j.workload,
-			Variant:    j.variant,
-			Status:     status,
-			Attempts:   attempts,
-			ForkedFrom: forkedFrom,
-			Time:       time.Now().UTC().Format(time.RFC3339),
-		}
-		if res != nil {
-			e.Cycles = res.Cycles
-			if res.Sampling != nil {
-				e.ErrorBound = res.Sampling.ErrorBound
-			}
-		}
-		if err != nil {
-			e.Error = err.Error()
-		}
-		entry = &e
+	entry := buildJournalEntry(j, fp, status, attempts, res, err, forkedFrom)
+	if p.OnOutcome != nil {
+		p.OnOutcome(entry, res)
 	}
-	st := storeFor(p)
 	// Faulted (or degraded-by-injection) outcomes must never be served to
 	// an un-injected sweep, so injected runs journal but never cache.
-	injected := p.Inject != nil && p.Inject.Matches(j.workload, j.variant)
-	storeResult := st != nil && res != nil && status != "failed" && !injected
-	if st == nil || (!storeResult && entry == nil) {
-		if entry != nil {
-			p.Journal.Record(*entry)
+	injected := p.Inject != nil && p.Inject.Matches(j.Workload, j.Variant)
+	p.commitOutcome(j, fp, entry, res, status != "failed" && !injected)
+}
+
+// RecordRemote commits a remotely executed job's outcome into this
+// process's journal and result store exactly as a local run would: the
+// Result and the completion-log line land in one store transaction.
+// This is how the fabric coordinator owns the distributed completion
+// log — workers stream outcomes back, the coordinator makes them
+// durable, and a worker crash loses nothing that was acknowledged. fp
+// is the raw content fingerprint (the store envelope carries it for
+// content verification); e.FP must be its cache key.
+func RecordRemote(p Params, fp string, e JournalEntry, res *gpu.Result) {
+	if fp == "" {
+		return
+	}
+	j := Job{Workload: e.Workload, Variant: e.Variant}
+	p.commitOutcome(j, fp, e, res, e.Status != "failed")
+}
+
+// commitOutcome writes one outcome to the journal and, when allowed and
+// available, the result store — atomically when both are present.
+func (p Params) commitOutcome(j Job, fp string, entry JournalEntry, res *gpu.Result, cacheable bool) {
+	var je *JournalEntry
+	if p.Journal != nil {
+		je = &entry
+	}
+	st := storeFor(p)
+	storeResult := st != nil && res != nil && cacheable
+	if st == nil || (!storeResult && je == nil) {
+		if je != nil {
+			p.Journal.Record(*je)
 		}
 		return
 	}
@@ -401,23 +435,23 @@ func (p Params) journalRecord(j job, fp, status string, attempts int, res *gpu.R
 			tx.Put(resultstore.KindResult, cacheKey(fp), b)
 		}
 	}
-	if entry != nil {
-		if b, merr := json.Marshal(entry); merr == nil {
+	if je != nil {
+		if b, merr := json.Marshal(je); merr == nil {
 			tx.Append(JournalFileName, b)
 		}
 	}
-	txSpan := p.Trace.Begin(p.span, "store.tx", j.workload, j.variant)
-	commitStoreTx(tx)
+	txSpan := p.Trace.Begin(p.span, "store.tx", j.Workload, j.Variant)
+	commitStoreTx(p.ctx(), tx)
 	// File the commit protocol's self-timed WAL phases (stage, commit,
 	// apply, replicate) as children of the transaction span.
 	for _, ph := range tx.Phases() {
-		p.Trace.Record(txSpan, "store."+ph.Name, j.workload, j.variant, ph.Start, ph.Dur)
+		p.Trace.Record(txSpan, "store."+ph.Name, j.Workload, j.Variant, ph.Start, ph.Dur)
 	}
 	p.Trace.End(txSpan)
-	if entry != nil {
+	if je != nil {
 		// The line is durable (or best-effort failed) via the transaction;
 		// only the in-memory status map still needs the update.
-		p.Journal.noteStatus(*entry)
+		p.Journal.noteStatus(*je)
 	}
 }
 

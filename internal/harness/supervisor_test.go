@@ -17,7 +17,7 @@ import (
 
 // supervisorParams is a small fast sweep shape shared by the tests: four
 // jobs (2 workloads x 2 policies) at heavy dilution.
-func supervisorParams() (Params, []job) {
+func supervisorParams() (Params, []Job) {
 	p := Params{Scale: 1, Config: config.Small(), Workers: 2, Dilute: 60}
 	jobs := policyJobs([]string{"vecadd", "nw"},
 		[]config.Policy{config.PolicyBaseline, config.PolicyVT})

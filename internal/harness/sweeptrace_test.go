@@ -37,10 +37,10 @@ func TestSweepTraceEndToEnd(t *testing.T) {
 		Kind: faultinject.PanicOnce}
 
 	jobs := swapLatJobs("pathfinder", []int{0, 64, 256})
-	jobs = append(jobs, job{
-		workload: "nw",
-		variant:  "vt",
-		mutate:   func(c *config.GPUConfig) { c.Policy = config.PolicyVT },
+	jobs = append(jobs, Job{
+		Workload: "nw",
+		Variant:  "vt",
+		Mutate:   func(c *config.GPUConfig) { c.Policy = config.PolicyVT },
 	})
 	if _, err := runMany(p, jobs); err != nil {
 		t.Fatal(err)
